@@ -1,0 +1,246 @@
+package spotbid_test
+
+// The benchmark harness: one benchmark per paper table/figure (each
+// regenerates the corresponding experiment end to end — see
+// EXPERIMENTS.md for the paper-vs-measured record) plus
+// micro-benchmarks for the hot paths a production bidding client
+// would exercise (bid optimization against a two-month ECDF, provider
+// price setting, trace generation).
+//
+// Figure/table benchmarks use Runs=2 per iteration to keep -bench
+// wall time sane; the committed experiment numbers come from
+// cmd/experiments -runs 10.
+
+import (
+	"math/rand"
+	"testing"
+
+	spotbid "repro"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func benchOpts(i int) experiments.Opts {
+	return experiments.Opts{Seed: int64(i) + 1, Runs: 2, Days: 63}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4AndFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.MapReduceEval(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Stability(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the five design-choice sweeps (β, t_r,
+// stickiness, M, collective bidding).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts(i)
+		if _, err := experiments.AblationBeta(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationRecovery(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationDwell(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationWorkers(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationCollective(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.AblationBilling(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastEval runs the §5 forecasting-horizon check.
+func BenchmarkForecastEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ForecastEval(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+// benchMarket builds the r3.xlarge market from a two-month ECDF once.
+func benchMarket(b *testing.B) spotbid.Market {
+	b.Helper()
+	tr, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecdf, err := tr.ECDF(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spotbid.Market{Price: ecdf, OnDemand: 0.35}
+}
+
+func BenchmarkOneTimeBid(b *testing.B) {
+	m := benchMarket(b)
+	job := spotbid.Job{Exec: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.OneTimeBid(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPersistentBid(b *testing.B) {
+	m := benchMarket(b)
+	job := spotbid.Job{Exec: 1, Recovery: spotbid.Seconds(30)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PersistentBid(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanMapReduce(b *testing.B) {
+	m := benchMarket(b)
+	job := spotbid.MapReduceJob{Exec: 2, Recovery: spotbid.Seconds(30), Overhead: spotbid.Seconds(60)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spotbid.PlanMapReduce(m, m, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProviderOptimalPrice(b *testing.B) {
+	cal, err := spotbid.CalibrationFor(spotbid.R3XLarge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cal.Provider
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OptimalPrice(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestOfflinePrice(b *testing.B) {
+	tr, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.BestOfflinePrice(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordCountRun(b *testing.B) {
+	corpus, err := spotbid.GenerateCorpus(40, 250, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		master, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Days: 3, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slave, err := spotbid.GenerateTrace(spotbid.C34XL, spotbid.GenOptions{Days: 3, Seed: int64(i) + 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		region, err := spotbid.NewRegion(master, slave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = spotbid.RunMapReduce(region, corpus, spotbid.MRConfig{
+			Master:       spotbid.MRNodeSpec{Type: spotbid.R3XLarge, Bid: 0.06, Kind: spotbid.OneTime},
+			Slave:        spotbid.MRNodeSpec{Type: spotbid.C34XL, Bid: 0.09, Kind: spotbid.Persistent},
+			Workers:      4,
+			Recovery:     spotbid.Seconds(30),
+			Overhead:     spotbid.Seconds(60),
+			WordsPerHour: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKSTwoSample(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 8784)
+	ys := make([]float64, 8784)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KSTwoSample(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                  # everything, paper-scale (10 runs)
+//	experiments -only fig5,fig6  # a subset
+//	experiments -runs 3          # faster sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "experiment seed")
+		runs = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
+		only = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,ablations")
+	)
+	flag.Parse()
+	opts := experiments.Opts{Seed: *seed, Runs: *runs}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("fig3") {
+		section("Figure 3 — spot-price PDFs and provider-model fits (§4.3)", func() (interface{ Render() string }, error) {
+			return experiments.Figure3(opts)
+		})
+	}
+	if sel("table3") {
+		section("Table 3 — optimal bid prices, one-hour job (§7.1)", func() (interface{ Render() string }, error) {
+			return experiments.Table3(opts)
+		})
+	}
+	if sel("fig4") {
+		section("Figure 4 — example persistent-job timeline", func() (interface{ Render() string }, error) {
+			return experiments.Figure4(opts)
+		})
+	}
+	if sel("fig5") {
+		section("Figure 5 — one-time spot vs on-demand cost (§7.1)", func() (interface{ Render() string }, error) {
+			return experiments.Figure5(opts)
+		})
+	}
+	if sel("fig6") {
+		section("Figure 6 — persistent vs one-time (§7.1)", func() (interface{ Render() string }, error) {
+			return experiments.Figure6(opts)
+		})
+	}
+	if sel("mapreduce") {
+		start := time.Now()
+		t4, f7, err := experiments.MapReduceEval(opts)
+		if err != nil {
+			fatalf("mapreduce: %v", err)
+		}
+		fmt.Printf("== Table 4 — MapReduce client settings (§7.2) [%.1fs]\n\n%s\n", time.Since(start).Seconds(), t4.Render())
+		fmt.Printf("== Figure 7 — MapReduce spot vs on-demand (§7.2)\n\n%s\n", f7.Render())
+	}
+	if sel("stability") {
+		section("Stability — Prop. 1/2 queue validation (§4.2)", func() (interface{ Render() string }, error) {
+			return experiments.Stability(opts)
+		})
+	}
+	if sel("forecast") {
+		section("Forecasting — §5's horizon check", func() (interface{ Render() string }, error) {
+			return experiments.ForecastEval(opts)
+		})
+	}
+	if sel("ablations") {
+		section("Ablation — provider utilization weight β (§4.1)", func() (interface{ Render() string }, error) {
+			return experiments.AblationBeta(opts)
+		})
+		section("Ablation — recovery time t_r across the Eq. 14 boundary", func() (interface{ Render() string }, error) {
+			return experiments.AblationRecovery(opts)
+		})
+		section("Ablation — price stickiness vs one-time reliability (DESIGN.md)", func() (interface{ Render() string }, error) {
+			return experiments.AblationDwell(opts)
+		})
+		section("Ablation — worker count M and the §6.1 crossovers", func() (interface{ Render() string }, error) {
+			return experiments.AblationWorkers(opts)
+		})
+		section("Ablation — collective bidding feedback (§8)", func() (interface{ Render() string }, error) {
+			return experiments.AblationCollective(opts)
+		})
+		section("Ablation — billing model (paper's per-slot vs Amazon's hourly)", func() (interface{ Render() string }, error) {
+			return experiments.AblationBilling(opts)
+		})
+	}
+}
+
+func section(title string, run func() (interface{ Render() string }, error)) {
+	start := time.Now()
+	res, err := run()
+	if err != nil {
+		fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("== %s [%.1fs]\n\n%s\n", title, time.Since(start).Seconds(), res.Render())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

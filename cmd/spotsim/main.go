@@ -1,0 +1,78 @@
+// Command spotsim generates calibrated synthetic spot-price histories
+// — the replacement for downloading Amazon's two-month
+// DescribeSpotPriceHistory window (see DESIGN.md) — and prints either
+// the AWS-style CSV or a statistical summary.
+//
+// Usage:
+//
+//	spotsim -type r3.xlarge -days 61 -seed 1 > history.csv
+//	spotsim -type r3.xlarge -summary
+//	spotsim -type r3.xlarge -dynamics full -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instances"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "r3.xlarge", "instance type (see -list)")
+		days     = flag.Int("days", 61, "trace length in days")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		dwell    = flag.Int("dwell", 0, "mean price dwell in slots (0 = default 18, 1 = i.i.d.)")
+		dynamics = flag.String("dynamics", "equilibrium", "price model: equilibrium | full")
+		diurnal  = flag.Float64("diurnal", 0, "diurnal arrival modulation amplitude in [0,1)")
+		summary  = flag.Bool("summary", false, "print a statistical summary instead of CSV")
+		list     = flag.Bool("list", false, "list calibrated instance types and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("type          vCPU  mem(GiB)  SSD      on-demand($/h)")
+		for _, s := range instances.All() {
+			fmt.Printf("%-13s %4d  %8g  %-7s  %.3f\n", s.Type, s.VCPU, s.MemGiB, s.SSD, s.OnDemand)
+		}
+		return
+	}
+
+	opts := trace.GenOptions{
+		Days:             *days,
+		Seed:             *seed,
+		DwellSlots:       *dwell,
+		FullDynamics:     *dynamics == "full",
+		DiurnalAmplitude: *diurnal,
+	}
+	if *dynamics != "full" && *dynamics != "equilibrium" {
+		fatalf("unknown -dynamics %q (want equilibrium or full)", *dynamics)
+	}
+	tr, err := trace.Generate(instances.Type(*typ), opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *summary {
+		printSummary(tr)
+		return
+	}
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fatalf("writing CSV: %v", err)
+	}
+}
+
+func printSummary(tr *trace.Trace) {
+	s, err := tr.Summarize()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(s)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spotsim: "+format+"\n", args...)
+	os.Exit(1)
+}

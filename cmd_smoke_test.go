@@ -1,0 +1,122 @@
+package spotbid_test
+
+// End-to-end smoke tests for the command-line tools: each binary is
+// compiled and run with light parameters, and its output checked for
+// the markers a user relies on. The heavy lifting inside each command
+// is covered by the package tests; these catch flag-plumbing and
+// output-format regressions.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles ./cmd/<name> into a temp dir once per test.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return string(out)
+}
+
+func TestSpotsimCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "spotsim")
+
+	// Summary mode.
+	out := runCmd(t, bin, "-type", "r3.xlarge", "-days", "3", "-summary")
+	for _, want := range []string{"instance type : r3.xlarge", "price range", "p90", "day/night KS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+
+	// CSV mode round-trips through the library parser (header + rows).
+	out = runCmd(t, bin, "-type", "c3.large", "-days", "1")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+288 {
+		t.Fatalf("CSV lines = %d, want 289", len(lines))
+	}
+	if lines[0] != "Timestamp,InstanceType,ProductDescription,SpotPrice" {
+		t.Errorf("header = %q", lines[0])
+	}
+
+	// List mode covers the whole catalog.
+	out = runCmd(t, bin, "-list")
+	if !strings.Contains(out, "r3.8xlarge") || !strings.Contains(out, "on-demand") {
+		t.Errorf("list output:\n%s", out)
+	}
+
+	// Bad flags exit non-zero.
+	if err := exec.Command(bin, "-type", "bogus", "-summary").Run(); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if err := exec.Command(bin, "-dynamics", "nope").Run(); err == nil {
+		t.Error("unknown dynamics should fail")
+	}
+}
+
+func TestBidcalcCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "bidcalc")
+
+	out := runCmd(t, bin, "-type", "r3.xlarge", "-exec", "1h", "-recovery", "30s", "-deadline", "2h")
+	for _, want := range []string{"one-time (Prop. 4)", "persistent (Prop. 5)", "deadline", "best offline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bidcalc missing %q in:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, bin, "-type", "c3.4xlarge", "-exec", "2h", "-recovery", "30s",
+		"-overhead", "60s", "-mapreduce", "-master", "m3.xlarge")
+	for _, want := range []string{"MapReduce plan (Eq. 20)", "master (m3.xlarge)", "persistent bid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mapreduce plan missing %q in:\n%s", want, out)
+		}
+	}
+
+	// A history file is accepted.
+	spotsim := buildCmd(t, "spotsim")
+	csv := runCmd(t, spotsim, "-type", "r3.xlarge", "-days", "62")
+	hist := filepath.Join(t.TempDir(), "hist.csv")
+	if err := os.WriteFile(hist, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, bin, "-history", hist, "-exec", "1h")
+	if !strings.Contains(out, "17856 price points") {
+		t.Errorf("history mode output:\n%s", out)
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "experiments")
+	out := runCmd(t, bin, "-only", "table3,stability", "-runs", "1")
+	for _, want := range []string{"Table 3", "persistent-30s", "Stability", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package spotbid_test
+
+import (
+	"fmt"
+	"log"
+
+	spotbid "repro"
+)
+
+// Example_quickstart mirrors the README: estimate the market from a
+// two-month history and compute the paper's optimal bids.
+func Example_quickstart() {
+	history, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecdf, err := history.ECDF(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := spotbid.Market{Price: ecdf, OnDemand: 0.35}
+
+	oneTime, err := m.OneTimeBid(spotbid.Job{Exec: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	persistent, err := m.PersistentBid(spotbid.Job{Exec: 1, Recovery: spotbid.Seconds(30)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-time   bid $%.4f (savings %.0f%%)\n", oneTime.Price, 100*oneTime.Savings())
+	fmt.Printf("persistent bid $%.4f (savings %.0f%%)\n", persistent.Price, 100*persistent.Savings())
+	// Output:
+	// one-time   bid $0.0343 (savings 91%)
+	// persistent bid $0.0335 (savings 91%)
+}
+
+// ExampleProvider_OptimalPrice shows the provider-side Eq. 3 price as
+// demand grows.
+func ExampleProvider_OptimalPrice() {
+	cal, err := spotbid.CalibrationFor(spotbid.R3XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := cal.Provider
+	for _, load := range []float64{1, 5, 25} {
+		fmt.Printf("L=%-3.0f π*=$%.4f\n", load, p.OptimalPrice(load))
+	}
+	// Output:
+	// L=1   π*=$0.0300
+	// L=5   π*=$0.1009
+	// L=25  π*=$0.1529
+}
+
+// ExamplePlanMapReduce plans a word-count cluster with Eq. 20.
+func ExamplePlanMapReduce() {
+	history, err := spotbid.GenerateTrace(spotbid.C34XL, spotbid.GenOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecdf, err := history.ECDF(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := spotbid.Market{Price: ecdf, OnDemand: 0.84}
+	plan, err := spotbid.PlanMapReduce(m, m, spotbid.MapReduceJob{
+		Exec:     2,
+		Recovery: spotbid.Seconds(30),
+		Overhead: spotbid.Seconds(60),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workers=%d savings=%.0f%%\n", plan.Workers, 100*plan.Savings())
+	// Output:
+	// workers=2 savings=91%
+}

@@ -1,0 +1,77 @@
+// Providermodel demonstrates the provider side of the paper (§4): how
+// the revenue+utilization objective prices each slot (Eq. 1–3), how
+// the persistent-bid queue stays stable (Prop. 1, Fig. 2), and how
+// the equilibrium map h(Λ) turns the arrival distribution into the
+// spot-price distribution the bidders consume (Prop. 2–3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	spotbid "repro"
+)
+
+func main() {
+	cal, err := spotbid.CalibrationFor(spotbid.R3XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := cal.Provider
+	fmt.Printf("provider (r3.xlarge): π̲=$%.3f π̄=$%.3f β=%.3f θ=%.2f\n\n",
+		p.PMin, p.POnDemand, p.Beta, p.Theta)
+
+	// 1. Price setting: the optimal spot price rises with demand and
+	// never reaches π̄/2 (the FOC's ceiling).
+	fmt.Println("Eq. 3 — optimal spot price by load:")
+	for _, load := range []float64{0.5, 1, 2, 5, 20, 100} {
+		price := p.OptimalPrice(load)
+		fmt.Printf("  L=%6.1f bids  →  π*=$%.4f  (accepts %.1f)\n",
+			load, price, p.Accepted(load, price))
+	}
+	fmt.Printf("  ceiling π̄/2 = $%.4f — never exceeded\n\n", p.POnDemand/2)
+
+	// 2. Queue stability: simulate Fig. 2's dynamics under the
+	// calibrated arrival mixture.
+	arr, err := cal.ArrivalDist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambda, sigma := arr.Mean(), arr.Var()
+	sim := spotbid.MarketSimulator{Provider: p, Arrivals: iid{arr}, Warmup: 2000}
+	res, err := sim.Run(20000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var meanL, maxL float64
+	for _, l := range res.Loads {
+		meanL += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	meanL /= float64(len(res.Loads))
+	fmt.Println("Prop. 1 — queue stability over 20k slots:")
+	fmt.Printf("  mean load %.2f, max %.2f; equilibrium load %.2f; negative-drift threshold %.2f\n\n",
+		meanL, maxL, p.EquilibriumLoad(lambda), p.StabilityThreshold(lambda, sigma))
+
+	// 3. The equilibrium price distribution (Prop. 3).
+	eq, err := cal.PriceDist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Prop. 3 — equilibrium spot-price distribution:")
+	fmt.Printf("  support [$%.4f, $%.4f), mean $%.4f (%.1f%% of on-demand)\n",
+		eq.Support().Lo, eq.Support().Hi, eq.Mean(), 100*eq.Mean()/p.POnDemand)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Printf("  quantile %.0f%%: $%.4f\n", q*100, eq.Quantile(q))
+	}
+}
+
+// iid adapts a distribution to the simulator's arrival-process
+// interface.
+type iid struct{ d spotbid.Dist }
+
+func (p iid) Next(r *rand.Rand) float64   { return p.d.Sample(r) }
+func (p iid) MeanVar() (float64, float64) { return p.d.Mean(), p.d.Var() }

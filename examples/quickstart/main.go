@@ -1,0 +1,54 @@
+// Quickstart: load (here: generate) a two-month spot-price history,
+// estimate the spot-price distribution, and compute the paper's
+// optimal bids for a one-hour job — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spotbid "repro"
+)
+
+func main() {
+	// 1. A two-month r3.xlarge price history. A real deployment
+	// would download DescribeSpotPriceHistory; the calibrated
+	// generator stands in for the retired 2014 spot market.
+	history, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := spotbid.LookupInstance(spotbid.R3XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("history: %d prices, $%.4f–$%.4f (mean $%.4f, on-demand $%.3f)\n\n",
+		history.Len(), history.Min(), history.Max(), history.Mean(), spec.OnDemand)
+
+	// 2. The bidder's view of the market: the empirical price
+	// distribution F_π plus the on-demand ceiling π̄.
+	ecdf, err := history.ECDF(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	market := spotbid.Market{Price: ecdf, OnDemand: spec.OnDemand}
+
+	// 3. Optimal bids for a one-hour job (t_s = 1h).
+	oneTime, err := market.OneTimeBid(spotbid.Job{Exec: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-time request   (Prop. 4): bid $%.4f/h → expected cost $%.4f (%.1f%% below on-demand)\n",
+		oneTime.Price, oneTime.ExpectedCost, 100*oneTime.Savings())
+
+	// A persistent request tolerates interruptions that each cost
+	// t_r = 30s of recovery; it bids lower and waits out price spikes.
+	persistent, err := market.PersistentBid(spotbid.Job{Exec: 1, Recovery: spotbid.Seconds(30)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persistent request (Prop. 5): bid $%.4f/h → expected cost $%.4f, completion %.2fh (≈%.1f interruptions)\n",
+		persistent.Price, persistent.ExpectedCost,
+		float64(persistent.ExpectedCompletion), persistent.ExpectedInterruptions)
+}

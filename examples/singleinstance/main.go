@@ -1,0 +1,76 @@
+// Singleinstance reruns the paper's §7.1 experiment end to end on the
+// simulated cloud: a one-hour job on r3.xlarge under four strategies
+// — optimal one-time, optimal persistent (t_r = 10s and 30s), the
+// 90th-percentile heuristic — against the on-demand baseline, all on
+// the *same* price trace, with real billing from the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spotbid "repro"
+)
+
+func main() {
+	const typ = spotbid.R3XLarge
+	const historySlots = 61 * 288 // two months of 5-minute slots
+
+	fmt.Println("strategy         bid($/h)  cost($)  completion(h)  idle(h)  interruptions")
+	fmt.Println("---------------  --------  -------  -------------  -------  -------------")
+
+	row := func(name string, run func(c *spotbid.Client, spec spotbid.JobSpec) (spotbid.Report, error)) {
+		// A fresh region per strategy, same seed: every strategy sees
+		// the identical price trace, as in a paired experiment.
+		region := newRegion()
+		c, err := spotbid.NewClient(region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Skip(historySlots); err != nil {
+			log.Fatal(err)
+		}
+		spec := spotbid.JobSpec{ID: "demo", Type: typ, Exec: 1, Recovery: spotbid.Seconds(30)}
+		rep, err := run(c, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := ""
+		if !rep.Outcome.Completed {
+			status = "  (did not finish!)"
+		}
+		fmt.Printf("%-15s  %8.4f  %7.4f  %13.2f  %7.2f  %13d%s\n",
+			name, rep.BidPrice, rep.Outcome.Cost,
+			float64(rep.Outcome.Completion), float64(rep.Outcome.IdleTime),
+			rep.Outcome.Interruptions, status)
+	}
+
+	row("one-time", func(c *spotbid.Client, s spotbid.JobSpec) (spotbid.Report, error) {
+		return c.RunOneTime(s)
+	})
+	row("persistent-10s", func(c *spotbid.Client, s spotbid.JobSpec) (spotbid.Report, error) {
+		s.Recovery = spotbid.Seconds(10)
+		return c.RunPersistent(s)
+	})
+	row("persistent-30s", func(c *spotbid.Client, s spotbid.JobSpec) (spotbid.Report, error) {
+		return c.RunPersistent(s)
+	})
+	row("percentile-90", func(c *spotbid.Client, s spotbid.JobSpec) (spotbid.Report, error) {
+		return c.RunPercentile(s, 90, spotbid.Persistent)
+	})
+	row("on-demand", func(c *spotbid.Client, s spotbid.JobSpec) (spotbid.Report, error) {
+		return c.RunOnDemand(s)
+	})
+}
+
+func newRegion() *spotbid.Region {
+	tr, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Days: 63, Seed: 2024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	region, err := spotbid.NewRegion(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return region
+}

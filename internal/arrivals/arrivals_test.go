@@ -1,0 +1,154 @@
+package arrivals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+func drawN(p Process, r *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Next(r)
+	}
+	return out
+}
+
+func TestIIDMatchesDistribution(t *testing.T) {
+	d, err := dist.NewPareto(5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewIID(d)
+	lam, sig := p.MeanVar()
+	if lam != d.Mean() || sig != d.Var() {
+		t.Error("MeanVar does not delegate to the distribution")
+	}
+	r := rand.New(rand.NewSource(2))
+	xs := drawN(p, r, 100000)
+	m, _ := dist.MeanVar(xs)
+	if math.Abs(m-lam)/lam > 0.02 {
+		t.Errorf("sample mean %v vs %v", m, lam)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := Deterministic{Volume: 3.5}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := p.Next(r); got != 3.5 {
+			t.Fatalf("Next = %v", got)
+		}
+	}
+	lam, sig := p.MeanVar()
+	if lam != 3.5 || sig != 0 {
+		t.Errorf("MeanVar = %v, %v", lam, sig)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	base := Deterministic{Volume: 1}
+	if _, err := NewDiurnal(base, -0.1, 288); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+	if _, err := NewDiurnal(base, 1.0, 288); err == nil {
+		t.Error("amplitude 1 accepted")
+	}
+	if _, err := NewDiurnal(base, 0.5, 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	base := Deterministic{Volume: 1}
+	d, err := NewDiurnal(base, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	// Period 4: sin(0), sin(π/2), sin(π), sin(3π/2) → 1, 1.5, 1, 0.5.
+	want := []float64{1, 1.5, 1, 0.5}
+	for i, w := range want {
+		if got := d.Next(r); math.Abs(got-w) > 1e-12 {
+			t.Errorf("slot %d: %v, want %v", i, got, w)
+		}
+	}
+	// Day-long mean is the base mean.
+	d2, _ := NewDiurnal(Deterministic{Volume: 2}, 0.3, 288)
+	xs := drawN(d2, r, 288*10)
+	if m := stats.Mean(xs); math.Abs(m-2) > 0.01 {
+		t.Errorf("diurnal mean %v, want 2", m)
+	}
+	lam, sig := d2.MeanVar()
+	if lam != 2 {
+		t.Errorf("MeanVar mean = %v", lam)
+	}
+	if sig <= 0 {
+		t.Errorf("diurnal variance %v should be positive", sig)
+	}
+	// Zero amplitude is exactly the base process.
+	flat, _ := NewDiurnal(Deterministic{Volume: 2}, 0, 288)
+	if got := flat.Next(r); got != 2 {
+		t.Errorf("flat diurnal = %v", got)
+	}
+}
+
+func TestAR1Validation(t *testing.T) {
+	noise, _ := dist.NewUniform(-0.1, 0.1)
+	if _, err := NewAR1(1, -0.1, noise); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := NewAR1(1, 1.0, noise); err == nil {
+		t.Error("rho = 1 accepted")
+	}
+	if _, err := NewAR1(-1, 0.5, noise); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestAR1Autocorrelation(t *testing.T) {
+	noise, _ := dist.NewUniform(-0.1, 0.1)
+	p, err := NewAR1(1, 0.8, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	xs := drawN(p, r, 50000)
+	ac := stats.Autocorrelation(xs, []int{1, 5})
+	if ac[0] < 0.7 || ac[0] > 0.9 {
+		t.Errorf("lag-1 autocorrelation %v, want ≈0.8", ac[0])
+	}
+	// ρ^5 ≈ 0.33
+	if ac[1] < 0.2 || ac[1] > 0.45 {
+		t.Errorf("lag-5 autocorrelation %v, want ≈0.33", ac[1])
+	}
+	m := stats.Mean(xs)
+	if math.Abs(m-1) > 0.02 {
+		t.Errorf("AR1 mean %v, want 1", m)
+	}
+	lam, sig := p.MeanVar()
+	if lam != 1 {
+		t.Errorf("MeanVar mean = %v", lam)
+	}
+	want := noise.Var() / (1 - 0.8*0.8)
+	if math.Abs(sig-want)/want > 1e-9 {
+		t.Errorf("MeanVar var = %v, want %v", sig, want)
+	}
+}
+
+func TestAR1NonNegative(t *testing.T) {
+	noise, _ := dist.NewUniform(-5, 5) // violent innovations
+	p, err := NewAR1(0.1, 0.5, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		if v := p.Next(r); v < 0 {
+			t.Fatal("negative arrival volume")
+		}
+	}
+}

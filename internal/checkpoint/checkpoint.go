@@ -1,0 +1,114 @@
+// Package checkpoint simulates the recovery mechanism the paper's
+// experiments configured on their spot instances (§5, §7.1): a
+// persistent job saves its state to a separate volume when
+// interrupted and restores it when resumed, paying a fixed recovery
+// delay t_r of extra running time per interruption. The paper's setup
+// used an AMI countdown script plus a DynamoDB table to track
+// first-run vs restarted status; the Volume type is that substrate's
+// synthetic equivalent (see DESIGN.md).
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/timeslot"
+)
+
+// Record is one saved checkpoint.
+type Record struct {
+	// JobID identifies the job the state belongs to.
+	JobID string
+	// Slot is the slot index at which the state was saved.
+	Slot int
+	// Remaining is the work left (in hours of execution time) at
+	// save time.
+	Remaining timeslot.Hours
+	// Resumptions counts how many times the job has been restored.
+	Resumptions int
+}
+
+// Volume is a durable store of job checkpoints, mimicking the
+// separate EBS/DynamoDB volume the paper's jobs wrote to. It is safe
+// for concurrent use: MapReduce slaves checkpoint independently.
+type Volume struct {
+	mu      sync.Mutex
+	records map[string]Record
+	history []Record // append-only audit log
+}
+
+// NewVolume returns an empty checkpoint volume.
+func NewVolume() *Volume {
+	return &Volume{records: make(map[string]Record)}
+}
+
+// Save stores the job's state, overwriting any previous checkpoint
+// for the same job and appending to the audit history.
+func (v *Volume) Save(jobID string, slot int, remaining timeslot.Hours) error {
+	if jobID == "" {
+		return fmt.Errorf("checkpoint: empty job ID")
+	}
+	if remaining < 0 {
+		return fmt.Errorf("checkpoint: negative remaining work %v", float64(remaining))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rec := Record{JobID: jobID, Slot: slot, Remaining: remaining,
+		Resumptions: v.records[jobID].Resumptions}
+	v.records[jobID] = rec
+	v.history = append(v.history, rec)
+	return nil
+}
+
+// Restore returns the job's last checkpoint and counts a resumption.
+// The second return is false when the job has never checkpointed —
+// a first launch, which needs no recovery.
+func (v *Volume) Restore(jobID string) (Record, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rec, ok := v.records[jobID]
+	if !ok {
+		return Record{}, false
+	}
+	rec.Resumptions++
+	v.records[jobID] = rec
+	return rec, true
+}
+
+// Peek returns the job's last checkpoint without counting a
+// resumption.
+func (v *Volume) Peek(jobID string) (Record, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rec, ok := v.records[jobID]
+	return rec, ok
+}
+
+// Delete removes a job's checkpoint (e.g. after completion).
+func (v *Volume) Delete(jobID string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.records, jobID)
+}
+
+// Jobs lists the job IDs with live checkpoints, sorted.
+func (v *Volume) Jobs() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.records))
+	for id := range v.records {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// History returns a copy of the audit log.
+func (v *Volume) History() []Record {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Record, len(v.history))
+	copy(out, v.history)
+	return out
+}

@@ -1,0 +1,117 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/timeslot"
+)
+
+func TestSaveRestore(t *testing.T) {
+	v := NewVolume()
+	if err := v.Save("job-1", 10, timeslot.Hours(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := v.Restore("job-1")
+	if !ok {
+		t.Fatal("checkpoint missing")
+	}
+	if rec.Slot != 10 || float64(rec.Remaining) != 0.5 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Resumptions != 1 {
+		t.Errorf("resumptions = %d, want 1", rec.Resumptions)
+	}
+	// A second restore counts again.
+	rec, _ = v.Restore("job-1")
+	if rec.Resumptions != 2 {
+		t.Errorf("resumptions = %d, want 2", rec.Resumptions)
+	}
+	// Peek does not count.
+	rec, ok = v.Peek("job-1")
+	if !ok || rec.Resumptions != 2 {
+		t.Errorf("peek = %+v, %v", rec, ok)
+	}
+}
+
+func TestRestoreMissing(t *testing.T) {
+	v := NewVolume()
+	if _, ok := v.Restore("ghost"); ok {
+		t.Error("restored a job that never checkpointed")
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	v := NewVolume()
+	if err := v.Save("", 0, 1); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	if err := v.Save("j", 0, -1); err == nil {
+		t.Error("negative remaining accepted")
+	}
+}
+
+func TestSavePreservesResumptionCount(t *testing.T) {
+	v := NewVolume()
+	v.Save("j", 1, 1)
+	v.Restore("j")
+	v.Save("j", 2, 0.5) // overwrite after resuming
+	rec, _ := v.Peek("j")
+	if rec.Resumptions != 1 {
+		t.Errorf("resumptions lost on save: %d", rec.Resumptions)
+	}
+	if rec.Slot != 2 {
+		t.Errorf("slot = %d", rec.Slot)
+	}
+}
+
+func TestDeleteAndJobs(t *testing.T) {
+	v := NewVolume()
+	v.Save("b", 0, 1)
+	v.Save("a", 0, 1)
+	if got := v.Jobs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Jobs = %v", got)
+	}
+	v.Delete("a")
+	if got := v.Jobs(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Jobs after delete = %v", got)
+	}
+	v.Delete("ghost") // no-op
+}
+
+func TestHistoryAuditLog(t *testing.T) {
+	v := NewVolume()
+	v.Save("j", 1, 1)
+	v.Save("j", 2, 0.5)
+	h := v.History()
+	if len(h) != 2 || h[0].Slot != 1 || h[1].Slot != 2 {
+		t.Errorf("history = %+v", h)
+	}
+	// The returned slice is a copy.
+	h[0].Slot = 99
+	if v.History()[0].Slot == 99 {
+		t.Error("History shares storage")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	v := NewVolume()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			id := string(rune('a' + n%4))
+			for j := 0; j < 200; j++ {
+				v.Save(id, j, timeslot.Hours(float64(j)))
+				v.Restore(id)
+				v.Peek(id)
+				v.Jobs()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(v.History()) != 16*200 {
+		t.Errorf("history length %d", len(v.History()))
+	}
+}

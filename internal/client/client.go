@@ -1,0 +1,198 @@
+// Package client implements the paper's Fig. 1 architecture: the
+// user-side bidding client that glues together the price monitor
+// (spot-price history → F_π estimate), the bid calculator (the
+// optimal strategies of internal/core), and the job monitor
+// (submission, interruption tracking, restart) against the simulated
+// cloud region. The experiment harness and the examples drive
+// everything through this package, mirroring how the paper's client
+// ran against EC2.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/timeslot"
+)
+
+// DefaultHistoryWindow is two months of history — all Amazon exposed,
+// and what the paper's client consumed (§1.2).
+const DefaultHistoryWindow = timeslot.Hours(61 * 24)
+
+// Client runs jobs against a region using the paper's strategies.
+type Client struct {
+	// Region is the simulated EC2 region.
+	Region *cloud.Region
+	// Volume stores job checkpoints across interruptions.
+	Volume *checkpoint.Volume
+	// HistoryWindow bounds how much price history the price monitor
+	// uses (default: two months).
+	HistoryWindow timeslot.Hours
+}
+
+// New returns a client for the region with a fresh checkpoint volume.
+func New(region *cloud.Region) (*Client, error) {
+	if region == nil {
+		return nil, errors.New("client: nil region")
+	}
+	return &Client{Region: region, Volume: checkpoint.NewVolume(), HistoryWindow: DefaultHistoryWindow}, nil
+}
+
+// Skip advances the region n slots without doing anything — used to
+// submit jobs "at random times of the day" as in §7.1.
+func (c *Client) Skip(n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.Region.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Market builds the bid-calculator view of an instance type's market:
+// the ECDF of the price-monitor window plus the on-demand ceiling.
+func (c *Client) Market(t instances.Type) (core.Market, error) {
+	spec, err := instances.Lookup(t)
+	if err != nil {
+		return core.Market{}, err
+	}
+	window := c.HistoryWindow
+	if window == 0 {
+		window = DefaultHistoryWindow
+	}
+	hist, err := c.Region.PriceHistory(t, window)
+	if err != nil {
+		return core.Market{}, err
+	}
+	ecdf, err := hist.ECDF(0)
+	if err != nil {
+		return core.Market{}, err
+	}
+	return core.Market{
+		Price:    ecdf,
+		OnDemand: spec.OnDemand,
+		Slot:     timeslot.Hours(float64(c.Region.Grid().Slot)),
+	}, nil
+}
+
+// Report pairs the model's predictions with the measured outcome of
+// one job run — the two bars of every Fig. 5–7 comparison.
+type Report struct {
+	// Strategy names the bidding strategy ("one-time",
+	// "persistent", "percentile-90", "on-demand", ...).
+	Strategy string
+	// BidPrice is the submitted bid (0 for on-demand).
+	BidPrice float64
+	// Analytic holds the model's predictions at that bid. Zero for
+	// on-demand runs.
+	Analytic core.Bid
+	// Outcome is what actually happened on the simulated cloud.
+	Outcome job.Outcome
+}
+
+// RunOneTime prices the job with Prop. 4 and runs it on a one-time
+// spot request.
+func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
+	m, err := c.Market(spec.Type)
+	if err != nil {
+		return Report{}, err
+	}
+	bid, err := m.OneTimeBid(core.Job{Exec: spec.Exec, Recovery: spec.Recovery})
+	if err != nil {
+		return Report{}, err
+	}
+	return c.runSpot("one-time", spec, bid, cloud.OneTime)
+}
+
+// RunPersistent prices the job with Prop. 5 and runs it on a
+// persistent spot request.
+func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
+	m, err := c.Market(spec.Type)
+	if err != nil {
+		return Report{}, err
+	}
+	bid, err := m.PersistentBid(core.Job{Exec: spec.Exec, Recovery: spec.Recovery})
+	if err != nil {
+		return Report{}, err
+	}
+	return c.runSpot("persistent", spec, bid, cloud.Persistent)
+}
+
+// RunPercentile bids the q-th percentile of the observed prices — the
+// §7.1 "bid the 90th percentile" baseline.
+func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind) (Report, error) {
+	m, err := c.Market(spec.Type)
+	if err != nil {
+		return Report{}, err
+	}
+	price, err := m.PercentileBid(q)
+	if err != nil {
+		return Report{}, err
+	}
+	analytic, err := c.eval(m, spec, price, kind)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := c.runSpot(fmt.Sprintf("percentile-%g", q), spec, analytic, kind)
+	return rep, err
+}
+
+// RunFixedBid runs the job at an explicit bid price (e.g. the
+// best-offline-in-retrospect baseline).
+func (c *Client) RunFixedBid(name string, spec job.Spec, price float64, kind cloud.RequestKind) (Report, error) {
+	m, err := c.Market(spec.Type)
+	if err != nil {
+		return Report{}, err
+	}
+	analytic, err := c.eval(m, spec, price, kind)
+	if err != nil {
+		return Report{}, err
+	}
+	return c.runSpot(name, spec, analytic, kind)
+}
+
+// eval computes the analytic Bid fields for an arbitrary price.
+func (c *Client) eval(m core.Market, spec job.Spec, price float64, kind cloud.RequestKind) (core.Bid, error) {
+	j := core.Job{Exec: spec.Exec, Recovery: spec.Recovery}
+	if kind == cloud.Persistent {
+		b, err := m.EvalPersistent(price, j)
+		if err == nil {
+			return b, nil
+		}
+		// Infeasible at this price: report the raw price with no
+		// predictions rather than refusing to run the baseline.
+		return core.Bid{Price: price}, nil
+	}
+	return m.EvalOneTime(price, j)
+}
+
+// RunOnDemand runs the job on an on-demand instance — the cost
+// baseline of every figure.
+func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
+	tracker, err := job.NewOnDemandJob(c.Region, spec)
+	if err != nil {
+		return Report{}, err
+	}
+	out, err := job.Run(c.Region, tracker)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Strategy: "on-demand", Outcome: out}, nil
+}
+
+func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind) (Report, error) {
+	tracker, err := job.NewSpotJob(c.Region, c.Volume, spec, analytic.Price, kind)
+	if err != nil {
+		return Report{}, err
+	}
+	out, err := job.Run(c.Region, tracker)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out}, nil
+}

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/mapreduce"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// smallClient builds a client over a tiny region — enough to exercise
+// every method's validation branches without a two-month warmup.
+func smallClient(t *testing.T) *Client {
+	t.Helper()
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientMethodsRejectUnknownType(t *testing.T) {
+	c := smallClient(t)
+	bogus := job.Spec{ID: "x", Type: "bogus", Exec: 1}
+	if _, err := c.RunOneTime(bogus); err == nil {
+		t.Error("RunOneTime accepted an unknown type")
+	}
+	if _, err := c.RunPersistent(bogus); err == nil {
+		t.Error("RunPersistent accepted an unknown type")
+	}
+	if _, err := c.RunPercentile(bogus, 90, cloud.Persistent); err == nil {
+		t.Error("RunPercentile accepted an unknown type")
+	}
+	if _, err := c.RunFixedBid("x", bogus, 0.05, cloud.OneTime); err == nil {
+		t.Error("RunFixedBid accepted an unknown type")
+	}
+	if _, err := c.RunOnDemand(bogus); err == nil {
+		t.Error("RunOnDemand accepted an unknown type")
+	}
+	if _, err := c.RunOneTimeWithFallback(bogus); err == nil {
+		t.Error("RunOneTimeWithFallback accepted an unknown type")
+	}
+}
+
+func TestClientMethodsRejectInvalidSpecs(t *testing.T) {
+	c := smallClient(t)
+	bad := job.Spec{ID: "", Type: instances.R3XLarge, Exec: 1}
+	if _, err := c.RunOneTime(bad); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	zero := job.Spec{ID: "x", Type: instances.R3XLarge}
+	if _, err := c.RunPersistent(zero); err == nil {
+		t.Error("zero exec accepted")
+	}
+	if _, err := c.RunPercentile(job.Spec{ID: "x", Type: instances.R3XLarge, Exec: 1}, 0, cloud.Persistent); err == nil {
+		t.Error("percentile 0 accepted")
+	}
+}
+
+func TestPlanMapReduceErrorPaths(t *testing.T) {
+	c := smallClient(t)
+	corpus, err := mapreduce.GenerateCorpus(4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MapReduceSpec{
+		MasterType:   "bogus",
+		SlaveType:    instances.R3XLarge,
+		Corpus:       corpus,
+		WordsPerHour: 100,
+		Recovery:     timeslot.Seconds(30),
+	}
+	if _, err := c.PlanMapReduce(spec); err == nil {
+		t.Error("unknown master type accepted")
+	}
+	spec.MasterType = instances.R3XLarge
+	spec.SlaveType = "bogus"
+	if _, err := c.PlanMapReduce(spec); err == nil {
+		t.Error("unknown slave type accepted")
+	}
+	spec.SlaveType = instances.R3XLarge
+	spec.WordsPerHour = 0
+	if _, err := c.RunMapReduce(spec); err == nil {
+		t.Error("zero throughput accepted")
+	}
+}

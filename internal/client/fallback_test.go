@@ -1,0 +1,134 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// spikyRegion builds a region whose price spikes above any plateau
+// bid shortly after the two-month history, forcing a one-time failure
+// at a controlled point.
+func spikyRegion(t *testing.T, spikeAfter int) *cloud.Region {
+	t.Helper()
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 63, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := append([]float64(nil), tr.Prices...)
+	// Flatten the job window, then insert the spike.
+	start := 61 * 288
+	for i := start; i < start+40 && i < len(prices); i++ {
+		prices[i] = 0.0301
+	}
+	if spikeAfter >= 0 {
+		prices[start+spikeAfter] = 0.34 // above any sane bid, below π̄
+	}
+	tr2, err := trace.New(tr.Type, tr.Grid, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fallbackClient(t *testing.T, spikeAfter int) *Client {
+	t.Helper()
+	c, err := New(spikyRegion(t, spikeAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Skip(61 * 288); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var fbSpec = job.Spec{ID: "fb", Type: instances.R3XLarge, Exec: 1, Recovery: timeslot.Seconds(30)}
+
+func TestFallbackNotNeededOnQuietTrace(t *testing.T) {
+	c := fallbackClient(t, -1) // no spike
+	rep, err := c.RunOneTimeWithFallback(fbSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.FellBack {
+		t.Fatalf("quiet trace: completed=%v fellback=%v", rep.Completed, rep.FellBack)
+	}
+	if rep.TotalCost > 0.05 {
+		t.Errorf("cost %v", rep.TotalCost)
+	}
+}
+
+func TestFallbackCompletesAfterSpike(t *testing.T) {
+	// Spike at slot 7 of the job: roughly half the hour ran on spot.
+	c := fallbackClient(t, 7)
+	rep, err := c.RunOneTimeWithFallback(fbSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("fallback did not complete the job")
+	}
+	if !rep.FellBack {
+		t.Fatal("expected a fallback")
+	}
+	if !rep.Spot.Outcome.Completed && rep.Spot.Outcome.Interruptions != 1 {
+		t.Errorf("spot phase interruptions = %d", rep.Spot.Outcome.Interruptions)
+	}
+	// Cost: spot slots at ~0.03 plus the remainder on-demand at 0.35.
+	if rep.TotalCost <= rep.Spot.Outcome.Cost {
+		t.Error("fallback phase cost missing")
+	}
+	odWhole := 0.35 * 1.0
+	if rep.TotalCost >= odWhole {
+		t.Errorf("fallback total %v not below whole-job on-demand %v", rep.TotalCost, odWhole)
+	}
+	// The blended savings sit between pure-spot (≈91%) and zero.
+	s := rep.Savings(0.35, 1)
+	if s <= 0 || s >= 0.92 {
+		t.Errorf("blended savings = %v", s)
+	}
+	// Completion accounts for both phases.
+	if float64(rep.Completion) < 1 {
+		t.Errorf("completion %v below the execution time", float64(rep.Completion))
+	}
+}
+
+func TestFallbackEarlySpikeMostlyOnDemand(t *testing.T) {
+	// Spike early (slot 3: the request launches at slot 1, so the
+	// spike interrupts it almost immediately): nearly all work moves
+	// on-demand, so the savings shrink but the job still completes.
+	c := fallbackClient(t, 3)
+	rep, err := c.RunOneTimeWithFallback(fbSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || !rep.FellBack {
+		t.Fatalf("completed=%v fellback=%v", rep.Completed, rep.FellBack)
+	}
+	late := fallbackClient(t, 9)
+	repLate, err := late.RunOneTimeWithFallback(fbSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repLate.FellBack {
+		t.Fatal("late spike should still fail the one-time request")
+	}
+	if rep.TotalCost <= repLate.TotalCost {
+		t.Errorf("earlier failure should cost more: %v vs %v", rep.TotalCost, repLate.TotalCost)
+	}
+}
+
+func TestFallbackSavingsZeroBase(t *testing.T) {
+	if (FallbackReport{TotalCost: 1}).Savings(0, 1) != 0 {
+		t.Error("zero baseline should yield zero savings")
+	}
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/mapreduce"
+	"repro/internal/timeslot"
+)
+
+// MapReduceSpec describes a MapReduce job to plan and run (§7.2's
+// client settings: instance types for each role plus the job's
+// physical parameters).
+type MapReduceSpec struct {
+	// MasterType and SlaveType are the two roles' instance types
+	// (the paper bids compute-optimized types for slaves).
+	MasterType, SlaveType instances.Type
+	// Corpus is the input.
+	Corpus *mapreduce.Corpus
+	// WordsPerHour is slave throughput; with Corpus it determines
+	// t_s.
+	WordsPerHour float64
+	// Recovery is t_r (the paper uses 30s).
+	Recovery timeslot.Hours
+	// Overhead is t_o (the paper uses 60s).
+	Overhead timeslot.Hours
+	// Workers forces M; zero lets the planner pick the minimum
+	// feasible M (Eq. 20).
+	Workers int
+}
+
+// ExecTime returns t_s: the corpus's total execution time on one
+// slave.
+func (s MapReduceSpec) ExecTime() (timeslot.Hours, error) {
+	if s.Corpus == nil || s.Corpus.Words == 0 {
+		return 0, fmt.Errorf("client: empty MapReduce corpus")
+	}
+	if !(s.WordsPerHour > 0) {
+		return 0, fmt.Errorf("client: non-positive throughput %v", s.WordsPerHour)
+	}
+	return timeslot.Hours(float64(s.Corpus.Words) / s.WordsPerHour), nil
+}
+
+// MapReduceReport pairs the Eq. 20 plan with the measured run.
+type MapReduceReport struct {
+	// Plan is the analytic bidding plan (Eq. 20): bids, worker
+	// count, predicted costs and completion.
+	Plan core.Plan
+	// Result is the measured run on the simulated cloud.
+	Result mapreduce.Result
+}
+
+// PlanMapReduce computes the Eq. 20 bidding plan for the job from the
+// current price history, without running anything.
+func (c *Client) PlanMapReduce(spec MapReduceSpec) (core.Plan, error) {
+	ts, err := spec.ExecTime()
+	if err != nil {
+		return core.Plan{}, err
+	}
+	masterM, err := c.Market(spec.MasterType)
+	if err != nil {
+		return core.Plan{}, err
+	}
+	slaveM, err := c.Market(spec.SlaveType)
+	if err != nil {
+		return core.Plan{}, err
+	}
+	return core.PlanMapReduce(masterM, slaveM, core.MapReduceJob{
+		Exec:     ts,
+		Recovery: spec.Recovery,
+		Overhead: spec.Overhead,
+		Workers:  spec.Workers,
+	})
+}
+
+// RunMapReduce plans (Eq. 20) and executes the job on spot instances:
+// a one-time master request and persistent slave requests, as in
+// §6.2.
+func (c *Client) RunMapReduce(spec MapReduceSpec) (MapReduceReport, error) {
+	plan, err := c.PlanMapReduce(spec)
+	if err != nil {
+		return MapReduceReport{}, err
+	}
+	res, err := mapreduce.Run(c.Region, spec.Corpus, mapreduce.Config{
+		Master:       mapreduce.NodeSpec{Type: spec.MasterType, Bid: plan.Master.Price, Kind: cloud.OneTime},
+		Slave:        mapreduce.NodeSpec{Type: spec.SlaveType, Bid: plan.Slaves.Price, Kind: cloud.Persistent},
+		Workers:      plan.Workers,
+		Recovery:     spec.Recovery,
+		Overhead:     spec.Overhead,
+		WordsPerHour: spec.WordsPerHour,
+	})
+	if err != nil {
+		return MapReduceReport{}, err
+	}
+	return MapReduceReport{Plan: plan, Result: res}, nil
+}
+
+// RunMapReduceOnDemand executes the same job entirely on on-demand
+// instances with the same worker count — Fig. 7's baseline.
+func (c *Client) RunMapReduceOnDemand(spec MapReduceSpec, workers int) (mapreduce.Result, error) {
+	if workers < 1 {
+		return mapreduce.Result{}, fmt.Errorf("client: worker count %d must be at least 1", workers)
+	}
+	return mapreduce.Run(c.Region, spec.Corpus, mapreduce.Config{
+		Master:       mapreduce.NodeSpec{Type: spec.MasterType, OnDemand: true},
+		Slave:        mapreduce.NodeSpec{Type: spec.SlaveType, OnDemand: true},
+		Workers:      workers,
+		Recovery:     spec.Recovery,
+		Overhead:     spec.Overhead,
+		WordsPerHour: spec.WordsPerHour,
+	})
+}

@@ -1,0 +1,92 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+)
+
+// BillingMode selects how instance usage is charged.
+type BillingMode int
+
+const (
+	// PerSlot bills every running slot at that slot's price — the
+	// continuous-limit model the paper's cost formulas use (Eq. 9's
+	// expected spot price × running time). The default.
+	PerSlot BillingMode = iota
+	// Hourly reproduces Amazon's 2014 billing: each instance-hour is
+	// charged at the price in effect when the hour began; a partial
+	// final hour is free when the *provider* terminates the instance
+	// (out-bid) and billed in full when the *user* terminates it.
+	Hourly
+)
+
+// String implements fmt.Stringer.
+func (m BillingMode) String() string {
+	switch m {
+	case PerSlot:
+		return "per-slot"
+	case Hourly:
+		return "hourly"
+	default:
+		return fmt.Sprintf("BillingMode(%d)", int(m))
+	}
+}
+
+// SetBilling selects the billing mode. It must be called before the
+// first Tick; hourly billing requires a slot length that divides one
+// hour evenly.
+func (r *Region) SetBilling(mode BillingMode) error {
+	if r.clock.Now() != 0 {
+		return fmt.Errorf("cloud: billing mode must be set before the first tick (now at slot %d)", r.clock.Now())
+	}
+	switch mode {
+	case PerSlot:
+		r.billing = PerSlot
+		return nil
+	case Hourly:
+		sph := r.clock.Grid().SlotsPerHour()
+		if sph != math.Trunc(sph) || sph < 1 {
+			return fmt.Errorf("cloud: hourly billing needs an integral number of slots per hour, got %v", sph)
+		}
+		r.billing = Hourly
+		r.slotsPerHour = int(sph)
+		return nil
+	default:
+		return fmt.Errorf("cloud: unknown billing mode %d", int(mode))
+	}
+}
+
+// Billing reports the active billing mode.
+func (r *Region) Billing() BillingMode { return r.billing }
+
+// chargeSlot applies one running slot's charge to inst under the
+// active billing mode. price is the instance's rate for this slot
+// (spot price or on-demand price).
+func (r *Region) chargeSlot(inst *Instance, price float64) {
+	switch r.billing {
+	case PerSlot:
+		inst.Cost += price * float64(r.clock.Grid().Slot)
+	case Hourly:
+		if inst.hourSlots == 0 {
+			inst.hourPrice = price // rate locked at the top of the hour
+		}
+		inst.hourSlots++
+		if inst.hourSlots == r.slotsPerHour {
+			inst.Cost += inst.hourPrice
+			inst.hourSlots = 0
+		}
+	}
+}
+
+// settlePartialHour closes an instance's open billing hour at
+// termination: billed in full when the user terminates, forgiven when
+// the provider does (Amazon's spot refund rule).
+func (r *Region) settlePartialHour(inst *Instance, providerTerminated bool) {
+	if r.billing != Hourly || inst.hourSlots == 0 {
+		return
+	}
+	if !providerTerminated {
+		inst.Cost += inst.hourPrice
+	}
+	inst.hourSlots = 0
+}

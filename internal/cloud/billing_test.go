@@ -1,0 +1,183 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/instances"
+)
+
+func hourlyRegion(t *testing.T, prices []float64) *Region {
+	t.Helper()
+	r := region(t, prices)
+	if err := r.SetBilling(Hourly); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSetBillingValidation(t *testing.T) {
+	r := region(t, []float64{0.03, 0.03})
+	if err := r.SetBilling(BillingMode(99)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := r.SetBilling(Hourly); err != nil {
+		t.Fatal(err)
+	}
+	if r.Billing() != Hourly {
+		t.Error("mode not recorded")
+	}
+	r.Tick()
+	if err := r.SetBilling(PerSlot); err == nil {
+		t.Error("mode change after tick accepted")
+	}
+	if PerSlot.String() == "" || Hourly.String() == "" || BillingMode(9).String() == "" {
+		t.Error("empty billing stringers")
+	}
+}
+
+func TestHourlyBillingFullHourAtHourStartPrice(t *testing.T) {
+	// Price rises mid-hour: the whole hour is billed at the price in
+	// effect when the hour began (0.03), not the later 0.04.
+	prices := make([]float64, 30)
+	for i := range prices {
+		if i >= 7 {
+			prices[i] = 0.039 // below the bid, so no interruption
+		} else {
+			prices[i] = 0.03
+		}
+	}
+	r := hourlyRegion(t, prices)
+	reqs, _ := r.RequestSpotInstances(instances.R3XLarge, 0.05, Persistent, 1)
+	for i := 0; i < 13; i++ { // launch at slot 1, full hour by slot 12
+		if err := r.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, _ := r.Instance(reqs[0].InstanceID)
+	if math.Abs(inst.Cost-0.03) > 1e-12 {
+		t.Errorf("hour billed %v, want 0.03 (hour-start rate)", inst.Cost)
+	}
+}
+
+func TestHourlyBillingProviderTerminationRefund(t *testing.T) {
+	// Out-bid after half an hour: the partial hour is free.
+	prices := []float64{0.03, 0.03, 0.03, 0.03, 0.03, 0.03, 0.09, 0.03}
+	r := hourlyRegion(t, prices)
+	r.RequestSpotInstances(instances.R3XLarge, 0.05, OneTime, 1)
+	for r.Tick() == nil {
+	}
+	if got := r.TotalCost(); got != 0 {
+		t.Errorf("provider-terminated partial hour billed %v, want 0", got)
+	}
+}
+
+func TestHourlyBillingUserTerminationChargesFullHour(t *testing.T) {
+	// The user terminates after 3 slots: Amazon bills the full hour.
+	prices := make([]float64, 10)
+	for i := range prices {
+		prices[i] = 0.03
+	}
+	r := hourlyRegion(t, prices)
+	reqs, _ := r.RequestSpotInstances(instances.R3XLarge, 0.05, Persistent, 1)
+	r.Tick()
+	r.Tick()
+	r.Tick()
+	if err := r.CancelSpotRequest(reqs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := r.Instance(reqs[0].InstanceID)
+	if math.Abs(inst.Cost-0.03) > 1e-12 {
+		t.Errorf("user-terminated partial hour billed %v, want the full 0.03", inst.Cost)
+	}
+}
+
+func TestHourlyBillingMultipleHours(t *testing.T) {
+	// 2.5 hours of running, user-terminated: 3 full hours billed,
+	// each at its own hour-start price.
+	n := 31
+	prices := make([]float64, n+2)
+	for i := range prices {
+		switch {
+		case i <= 12:
+			prices[i] = 0.03 // hour 1 start rate
+		case i <= 24:
+			prices[i] = 0.035 // hour 2 start rate
+		default:
+			prices[i] = 0.04 // hour 3 start rate
+		}
+	}
+	r := hourlyRegion(t, prices)
+	inst, err := r.LaunchOnDemand(instances.R3XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ { // 2.5 hours
+		if err := r.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.TerminateInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	// On-demand rate is flat 0.35/h → 3 hours.
+	if want := 3 * 0.35; math.Abs(inst.Cost-want) > 1e-9 {
+		t.Errorf("cost %v, want %v", inst.Cost, want)
+	}
+}
+
+func TestHourlyVsPerSlotOnFlatPrices(t *testing.T) {
+	// On a flat trace with exact whole hours, both modes agree.
+	prices := make([]float64, 26)
+	for i := range prices {
+		prices[i] = 0.03
+	}
+	run := func(mode BillingMode) float64 {
+		r := region(t, prices)
+		if err := r.SetBilling(mode); err != nil {
+			t.Fatal(err)
+		}
+		reqs, _ := r.RequestSpotInstances(instances.R3XLarge, 0.05, Persistent, 1)
+		for i := 0; i < 24; i++ { // launch at slot 1; slots 1..24 = 2h
+			if err := r.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inst, _ := r.Instance(reqs[0].InstanceID)
+		return inst.Cost
+	}
+	a, b := run(PerSlot), run(Hourly)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("per-slot %v vs hourly %v on whole hours", a, b)
+	}
+}
+
+func TestHourlyBillingSpotCheaperWithRefunds(t *testing.T) {
+	// A spiky trace interrupts the instance repeatedly; the refund
+	// rule makes hourly spot billing at most the per-slot amount.
+	prices := make([]float64, 200)
+	for i := range prices {
+		if i%15 == 5 {
+			prices[i] = 0.2
+		} else {
+			prices[i] = 0.03
+		}
+	}
+	total := func(mode BillingMode) float64 {
+		r := region(t, prices)
+		if err := r.SetBilling(mode); err != nil {
+			t.Fatal(err)
+		}
+		r.RequestSpotInstances(instances.R3XLarge, 0.05, Persistent, 1)
+		for r.Tick() == nil {
+		}
+		return r.TotalCost()
+	}
+	hourly, perSlot := total(Hourly), total(PerSlot)
+	if hourly > perSlot+1e-12 {
+		t.Errorf("hourly %v above per-slot %v despite refunds", hourly, perSlot)
+	}
+	if hourly <= 0 {
+		t.Error("hourly billed nothing — 14-slot runs should complete hours")
+	}
+}

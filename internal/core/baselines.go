@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+)
+
+// PercentileBid returns the bid at the q-th percentile of the spot
+// price distribution (q ∈ (0, 100)). "Bid the 90th percentile" is the
+// heuristic baseline the paper compares against in §7.1 — simple, but
+// blind to the job's interruption economics, so it overpays relative
+// to the optimal persistent bid.
+func (m Market) PercentileBid(q float64) (float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, err
+	}
+	if q <= 0 || q >= 100 {
+		return 0, fmt.Errorf("core: percentile %v outside (0, 100)", q)
+	}
+	p := mm.Price.Quantile(q / 100)
+	if p < mm.MinPrice {
+		p = mm.MinPrice
+	}
+	if p > mm.OnDemand {
+		p = mm.OnDemand
+	}
+	return p, nil
+}
+
+// OnDemandCost is the flat baseline: running the job to completion on
+// an on-demand instance at π̄, with no interruptions and no savings.
+func (m Market) OnDemandCost(job Job) (float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, err
+	}
+	if err := job.Validate(); err != nil {
+		return 0, err
+	}
+	return float64(job.Exec) * mm.OnDemand, nil
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's primary contribution: optimal
+// spot-market bidding strategies (§5–§6).
+//
+// Given an estimate of the spot-price distribution F_π (from a price
+// history or from the provider model), the package computes
+//
+//   - the optimal one-time bid p* = max(π̲, F⁻¹(1 − t_k/t_s))
+//     (Prop. 4) for jobs that must never be interrupted;
+//   - the optimal persistent bid solving the first-order condition
+//     ψ(p) = t_k/t_r − 1 (Prop. 5) for interruptible jobs that trade
+//     interruptions for price;
+//   - MapReduce plans: the slave-node bid (Eq. 19, identical in form
+//     to the persistent optimum) and the joint master+slave plan of
+//     Eq. 20, including the minimum number of parallel slave nodes
+//     that lets the master outlive the slaves.
+//
+// All strategies consume only the spot-price distribution — not the
+// provider's internals — exactly as the paper notes (§1.1, fn. 7), so
+// they work unchanged against empirical ECDFs or analytic equilibrium
+// distributions.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+// Market describes one instance type's spot market from the bidder's
+// point of view.
+type Market struct {
+	// Price is the (estimated) spot-price distribution F_π.
+	Price dist.Dist
+	// OnDemand is the on-demand price π̄ for the same instance type:
+	// both the bid ceiling and the cost baseline.
+	OnDemand float64
+	// MinPrice is the bid floor π̲. Zero means "use the bottom of
+	// the price distribution's support".
+	MinPrice float64
+	// Slot is the pricing slot length t_k. Zero means the default
+	// five-minute slot.
+	Slot timeslot.Hours
+}
+
+// normalized returns a copy with defaults applied, or an error when
+// the market is unusable.
+func (m Market) normalized() (Market, error) {
+	if m.Price == nil {
+		return m, errors.New("core: market needs a price distribution")
+	}
+	if m.Slot == 0 {
+		m.Slot = timeslot.DefaultSlot
+	}
+	if m.Slot <= 0 {
+		return m, fmt.Errorf("core: non-positive slot length %v", float64(m.Slot))
+	}
+	sup := m.Price.Support()
+	if m.MinPrice == 0 {
+		m.MinPrice = math.Max(sup.Lo, 0)
+	}
+	if m.MinPrice < 0 {
+		return m, fmt.Errorf("core: negative bid floor %v", m.MinPrice)
+	}
+	if !(m.OnDemand > m.MinPrice) {
+		return m, fmt.Errorf("core: on-demand price %v must exceed the bid floor %v", m.OnDemand, m.MinPrice)
+	}
+	return m, nil
+}
+
+// Job describes a single-instance job (§5).
+type Job struct {
+	// Exec is t_s: the execution time without interruptions.
+	Exec timeslot.Hours
+	// Recovery is t_r: the extra running time needed to recover
+	// after each interruption (persistent requests only).
+	Recovery timeslot.Hours
+}
+
+// Validate reports whether the job parameters are usable.
+func (j Job) Validate() error {
+	if !(j.Exec > 0) {
+		return fmt.Errorf("core: execution time %v must be positive", float64(j.Exec))
+	}
+	if j.Recovery < 0 {
+		return fmt.Errorf("core: recovery time %v must be non-negative", float64(j.Recovery))
+	}
+	if j.Recovery >= j.Exec {
+		return fmt.Errorf("core: recovery time %v must be below the execution time %v", float64(j.Recovery), float64(j.Exec))
+	}
+	return nil
+}
+
+// Bid is a computed bidding decision with its analytic predictions.
+type Bid struct {
+	// Price is the bid price p in USD per instance-hour.
+	Price float64
+	// AcceptProb is F_π(p): the per-slot probability the bid beats
+	// the spot price.
+	AcceptProb float64
+	// ExpectedSpot is E[π | π ≤ p]: the average price actually paid
+	// per running hour (Eq. 9).
+	ExpectedSpot float64
+	// ExpectedRunTime is T·F(p): the expected hours spent running
+	// (execution + recovery), Eq. 13 for persistent bids.
+	ExpectedRunTime timeslot.Hours
+	// ExpectedCompletion is T: the expected total time from
+	// submission to completion, including idle slots.
+	ExpectedCompletion timeslot.Hours
+	// ExpectedInterruptions is the expected number of out-bid
+	// interruptions over the job (Eq. 12's transition count).
+	ExpectedInterruptions float64
+	// ExpectedCost is Φ(p) = ExpectedRunTime·ExpectedSpot in USD.
+	ExpectedCost float64
+	// OnDemandCost is the baseline t_s·π̄ for the same job.
+	OnDemandCost float64
+	// BeatsOnDemand reports Φ(p) ≤ t_s·π̄ (the cost constraint of
+	// Eq. 10/15).
+	BeatsOnDemand bool
+}
+
+// Savings reports the relative cost reduction versus on-demand,
+// e.g. 0.91 for a 91% cheaper job.
+func (b Bid) Savings() float64 {
+	if b.OnDemandCost == 0 {
+		return 0
+	}
+	return 1 - b.ExpectedCost/b.OnDemandCost
+}
+
+// quantileAtLeast returns the smallest price p ∈ [d's support ∩ (−∞, hi]]
+// with CDF(p) ≥ q. For continuous distributions this is Quantile(q);
+// for step-function ECDFs the interpolated quantile can undershoot, so
+// the result is pushed up to the next jump by predicate bisection.
+func quantileAtLeast(d dist.Dist, q, hi float64) float64 {
+	if q <= 0 {
+		return math.Max(d.Support().Lo, math.Inf(-1))
+	}
+	p := d.Quantile(q)
+	if d.CDF(p) >= q {
+		return p
+	}
+	lo := p
+	if d.CDF(hi) < q {
+		return hi
+	}
+	for i := 0; i < 100 && hi-lo > 1e-15*math.Max(math.Abs(hi), 1); i++ {
+		mid := lo + (hi-lo)/2
+		if d.CDF(mid) >= q {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

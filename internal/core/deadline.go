@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/timeslot"
+)
+
+// DeadlineJob extends Job with the §8 "risk-averseness" variant the
+// paper sketches but does not implement: instead of bounding only the
+// *expected* completion time, the user requires the probability of
+// missing a hard deadline to stay below a small threshold.
+type DeadlineJob struct {
+	Job
+	// Deadline is the latest acceptable completion time, measured
+	// from submission.
+	Deadline timeslot.Hours
+	// MissProb is the acceptable probability of missing the
+	// deadline, e.g. 0.05.
+	MissProb float64
+}
+
+// Validate reports whether the parameters are usable.
+func (j DeadlineJob) Validate() error {
+	if err := j.Job.Validate(); err != nil {
+		return err
+	}
+	if !(j.Deadline > 0) {
+		return fmt.Errorf("core: deadline %v must be positive", float64(j.Deadline))
+	}
+	if j.Deadline < j.Exec {
+		return fmt.Errorf("core: deadline %v below the execution time %v", float64(j.Deadline), float64(j.Exec))
+	}
+	if !(j.MissProb > 0 && j.MissProb < 1) {
+		return fmt.Errorf("core: miss probability %v outside (0, 1)", j.MissProb)
+	}
+	return nil
+}
+
+// MissProbability returns P(completion > deadline) for a persistent
+// request at bid price p under the i.i.d. slot model: the job needs
+// r = ⌈(expected running time)/t_k⌉ running slots among the
+// D = ⌊deadline/t_k⌋ slots before the deadline, and each slot runs
+// independently with probability F(p); the deadline is missed when
+// fewer than r of the D slots run (lower binomial tail).
+func (m Market) MissProbability(p float64, j DeadlineJob) (float64, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return 0, err
+	}
+	if err := j.Validate(); err != nil {
+		return 0, err
+	}
+	run, err := mm.ExpectedRunningTime(p, j.Job)
+	if err != nil {
+		return 1, nil // infeasible bid: certain miss
+	}
+	slot := float64(mm.Slot)
+	r := int(math.Ceil(float64(run)/slot - 1e-9))
+	d := int(math.Floor(float64(j.Deadline)/slot + 1e-9))
+	if r > d {
+		return 1, nil
+	}
+	f := mm.Price.CDF(p)
+	return stats.BinomialSurvival(d-r+1, d, 1-f) // P(≥ d−r+1 idle slots)
+}
+
+// DeadlineBid returns the cheapest persistent bid whose deadline-miss
+// probability is at most j.MissProb. The optimal unconstrained
+// persistent bid (Prop. 5) is used when it already meets the
+// constraint; otherwise the bid is raised to the smallest price that
+// does (the miss probability decreases in p: higher bids run more
+// slots). It returns ErrInfeasible when even bidding π̄ misses too
+// often — the §8 prescription is then an on-demand instance.
+func (m Market) DeadlineBid(j DeadlineJob) (Bid, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return Bid{}, err
+	}
+	if err := j.Validate(); err != nil {
+		return Bid{}, err
+	}
+	opt, err := mm.PersistentBid(j.Job)
+	if err != nil {
+		return Bid{}, err
+	}
+	miss, err := mm.MissProbability(opt.Price, j)
+	if err != nil {
+		return Bid{}, err
+	}
+	if miss <= j.MissProb {
+		return opt, nil
+	}
+	// Check feasibility at the ceiling first.
+	missHi, err := mm.MissProbability(mm.OnDemand, j)
+	if err != nil {
+		return Bid{}, err
+	}
+	if missHi > j.MissProb {
+		return Bid{}, fmt.Errorf("%w: even π̄ = %v misses the %.2fh deadline with probability %.3f > %.3f",
+			ErrInfeasible, mm.OnDemand, float64(j.Deadline), missHi, j.MissProb)
+	}
+	// Bisect for the smallest price meeting the constraint. The miss
+	// probability is monotone non-increasing in p (F is monotone),
+	// with plateaus on ECDF steps — predicate bisection handles both.
+	lo, hi := opt.Price, mm.OnDemand
+	for i := 0; i < 100 && hi-lo > 1e-12*math.Max(hi, 1); i++ {
+		mid := lo + (hi-lo)/2
+		missMid, err := mm.MissProbability(mid, j)
+		if err != nil {
+			return Bid{}, err
+		}
+		if missMid <= j.MissProb {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return mm.EvalPersistent(hi, j.Job)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/timeslot"
+)
+
+func deadlineJob(deadline float64, miss float64) DeadlineJob {
+	return DeadlineJob{
+		Job:      Job{Exec: 1, Recovery: timeslot.Seconds(30)},
+		Deadline: timeslot.Hours(deadline),
+		MissProb: miss,
+	}
+}
+
+func TestDeadlineJobValidate(t *testing.T) {
+	if err := deadlineJob(2, 0.05).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DeadlineJob{
+		{Job: Job{Exec: 1}, Deadline: 0, MissProb: 0.05},
+		{Job: Job{Exec: 1}, Deadline: 0.5, MissProb: 0.05}, // deadline < exec
+		{Job: Job{Exec: 1}, Deadline: 2, MissProb: 0},
+		{Job: Job{Exec: 1}, Deadline: 2, MissProb: 1},
+		{Job: Job{}, Deadline: 2, MissProb: 0.05},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("bad deadline job %d accepted", i)
+		}
+	}
+}
+
+func TestMissProbabilityMonotoneInBid(t *testing.T) {
+	m := analyticMarket(t)
+	j := deadlineJob(1.5, 0.05)
+	prev := 1.1
+	for _, p := range []float64{0.031, 0.033, 0.04, 0.08, 0.17} {
+		miss, err := m.MissProbability(p, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss < 0 || miss > 1 {
+			t.Fatalf("miss probability %v", miss)
+		}
+		if miss > prev+1e-9 {
+			t.Fatalf("miss probability increased at %v: %v > %v", p, miss, prev)
+		}
+		prev = miss
+	}
+}
+
+func TestMissProbabilityTightDeadline(t *testing.T) {
+	m := analyticMarket(t)
+	// Deadline exactly t_s: every slot must run; any idle slot is
+	// fatal, so the miss probability is 1 − F^12 — large at low bids.
+	j := deadlineJob(1, 0.05)
+	miss, err := m.MissProbability(0.0305, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss < 0.3 {
+		t.Errorf("tight deadline at a low bid misses with only %v", miss)
+	}
+	// A generous deadline is nearly always met at a mid bid.
+	loose := deadlineJob(12, 0.05)
+	miss, err = m.MissProbability(0.04, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss > 0.01 {
+		t.Errorf("12h deadline missed with %v at a healthy bid", miss)
+	}
+}
+
+func TestDeadlineBidMeetsConstraint(t *testing.T) {
+	for name, m := range bothMarkets(t) {
+		for _, deadline := range []float64{1.25, 1.5, 3} {
+			j := deadlineJob(deadline, 0.05)
+			bid, err := m.DeadlineBid(j)
+			if err != nil {
+				t.Fatalf("%s deadline %v: %v", name, deadline, err)
+			}
+			miss, err := m.MissProbability(bid.Price, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if miss > j.MissProb+1e-9 {
+				t.Errorf("%s deadline %v: bid %v misses with %v > %v",
+					name, deadline, bid.Price, miss, j.MissProb)
+			}
+		}
+	}
+}
+
+func TestDeadlineBidRelaxesToUnconstrainedOptimum(t *testing.T) {
+	// With a week-long deadline the constraint is slack and the
+	// Prop. 5 optimum is returned unchanged.
+	m := analyticMarket(t)
+	j := deadlineJob(24*7, 0.05)
+	bid, err := m.DeadlineBid(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := m.PersistentBid(j.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bid.Price-opt.Price) > 1e-12 {
+		t.Errorf("slack deadline moved the bid: %v vs %v", bid.Price, opt.Price)
+	}
+}
+
+func TestDeadlineBidTighterDeadlineBidsHigher(t *testing.T) {
+	m := analyticMarket(t)
+	loose, err := m.DeadlineBid(deadlineJob(6, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := m.DeadlineBid(deadlineJob(1.25, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Price < loose.Price-1e-12 {
+		t.Errorf("tight deadline bid %v below loose %v", tight.Price, loose.Price)
+	}
+}
+
+func TestDeadlineBidInfeasible(t *testing.T) {
+	// Price support exceeding π̄ with a deadline of exactly t_s: the
+	// probability of 12 consecutive wins is bounded by F(π̄)¹² < ε.
+	m := analyticMarket(t)
+	m.OnDemand = 0.032 // artificially cap bids inside the plateau
+	j := deadlineJob(1, 0.001)
+	if _, err := m.DeadlineBid(j); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestDeadlineMissMatchesMonteCarlo replays the slot process and
+// compares the measured miss rate with the binomial model.
+func TestDeadlineMissMatchesMonteCarlo(t *testing.T) {
+	m := analyticMarket(t)
+	j := deadlineJob(1.5, 0.05)
+	p := 0.0335
+	model, err := m.MissProbability(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := m.ExpectedRunningTime(p, j.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := float64(timeslot.DefaultSlot)
+	need := int(math.Ceil(float64(run)/slot - 1e-9))
+	dSlots := int(math.Floor(float64(j.Deadline)/slot + 1e-9))
+	f := m.Price.CDF(p)
+
+	r := rand.New(rand.NewSource(123))
+	const trials = 100000
+	var missed int
+	for trial := 0; trial < trials; trial++ {
+		var ran int
+		for s := 0; s < dSlots; s++ {
+			if r.Float64() < f {
+				ran++
+			}
+		}
+		if ran < need {
+			missed++
+		}
+	}
+	mc := float64(missed) / trials
+	if math.Abs(mc-model) > 0.02 {
+		t.Errorf("model miss %v vs MC %v", model, mc)
+	}
+}

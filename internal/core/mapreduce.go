@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeslot"
+)
+
+// MapReduceJob describes a parallelizable job in the paper's
+// master/slave model (§6): the work splits into M equal sub-jobs run
+// by slave nodes while a master node coordinates.
+type MapReduceJob struct {
+	// Exec is t_s: total execution time of the whole job on a single
+	// instance, without interruptions.
+	Exec timeslot.Hours
+	// Recovery is t_r: per-interruption recovery time of a slave.
+	Recovery timeslot.Hours
+	// Overhead is t_o: the constant extra time from splitting the
+	// job (message passing between sub-jobs).
+	Overhead timeslot.Hours
+	// Workers is M, the number of slave nodes. Zero lets the planner
+	// pick the minimum feasible M (Eq. 20's first constraint).
+	Workers int
+}
+
+// Validate reports whether the job parameters are usable.
+func (j MapReduceJob) Validate() error {
+	if !(j.Exec > 0) {
+		return fmt.Errorf("core: execution time %v must be positive", float64(j.Exec))
+	}
+	if j.Recovery < 0 || j.Overhead < 0 {
+		return fmt.Errorf("core: negative recovery (%v) or overhead (%v)", float64(j.Recovery), float64(j.Overhead))
+	}
+	if j.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", j.Workers)
+	}
+	return nil
+}
+
+// MaxWorkersForRecovery returns the largest M keeping the Eq. 17
+// accounting positive: t_s + t_o − M·t_r > 0. Beyond it, recovery
+// overhead would exceed the total work and the model breaks down.
+// A zero recovery time puts no limit (returns a large sentinel).
+func (j MapReduceJob) MaxWorkersForRecovery() int {
+	if j.Recovery <= 0 {
+		return math.MaxInt32
+	}
+	m := int(math.Ceil(float64(j.Exec+j.Overhead)/float64(j.Recovery))) - 1
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// singleJob views the M-worker MapReduce job as a single persistent
+// job with the Eq. 17 numerator t_s + t_o − M·t_r folded into an
+// equivalent (t_s' − t_r): the per-bid optimization of Eq. 19 then
+// reduces exactly to the persistent-bid machinery.
+func (j MapReduceJob) singleJob(workers int) Job {
+	return Job{Exec: j.Exec + j.Overhead - timeslot.Hours(workers-1)*j.Recovery, Recovery: j.Recovery}
+}
+
+// EvalSlaves computes the analytic predictions for bidding price p on
+// M parallel persistent slave requests (Eq. 17–19): the *total* cost
+// Φ_mp across instances and the parallel (per-worker, Eq. 18)
+// completion time.
+func (m Market) EvalSlaves(p float64, job MapReduceJob, workers int) (Bid, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return Bid{}, err
+	}
+	if err := job.Validate(); err != nil {
+		return Bid{}, err
+	}
+	if workers < 1 {
+		return Bid{}, fmt.Errorf("core: worker count %d must be at least 1", workers)
+	}
+	if float64(job.Exec+job.Overhead)-float64(workers)*float64(job.Recovery) <= 0 {
+		return Bid{}, fmt.Errorf("%w: %d workers exceed MaxWorkersForRecovery = %d",
+			ErrInfeasible, workers, job.MaxWorkersForRecovery())
+	}
+	// Total running time across instances (Eq. 17) equals the
+	// single-instance Eq. 13 with numerator t_s + t_o − M·t_r.
+	single, err := mm.EvalPersistent(p, job.singleJob(workers))
+	if err != nil {
+		return Bid{}, err
+	}
+	perWorkerRun := timeslot.Hours(float64(single.ExpectedRunTime) / float64(workers))
+	perWorkerCompletion := timeslot.Hours(float64(perWorkerRun) / single.AcceptProb)
+	odCost := float64(job.Exec+job.Overhead) * mm.OnDemand
+	cost := float64(single.ExpectedRunTime) * single.ExpectedSpot
+	return Bid{
+		Price:                 p,
+		AcceptProb:            single.AcceptProb,
+		ExpectedSpot:          single.ExpectedSpot,
+		ExpectedRunTime:       single.ExpectedRunTime, // summed across workers
+		ExpectedCompletion:    perWorkerCompletion,    // parallel wall-clock (Eq. 18)
+		ExpectedInterruptions: single.ExpectedInterruptions,
+		ExpectedCost:          cost,
+		OnDemandCost:          odCost,
+		BeatsOnDemand:         cost <= odCost,
+	}, nil
+}
+
+// SlaveBid computes the optimal bid for M parallel persistent slave
+// requests (Eq. 19). As the paper observes, the first-order condition
+// does not involve the numerator t_s + t_o − M·t_r, so the optimal
+// price coincides with the single-instance persistent optimum; only
+// the predicted cost and completion change with M.
+func (m Market) SlaveBid(job MapReduceJob, workers int) (Bid, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return Bid{}, err
+	}
+	if err := job.Validate(); err != nil {
+		return Bid{}, err
+	}
+	if workers < 1 {
+		return Bid{}, fmt.Errorf("core: worker count %d must be at least 1", workers)
+	}
+	single := job.singleJob(workers)
+	if single.Exec <= single.Recovery {
+		return Bid{}, fmt.Errorf("%w: %d workers exceed MaxWorkersForRecovery = %d",
+			ErrInfeasible, workers, job.MaxWorkersForRecovery())
+	}
+	opt, err := mm.PersistentBid(single)
+	if err != nil {
+		return Bid{}, err
+	}
+	return mm.EvalSlaves(opt.Price, job, workers)
+}
+
+// ParallelSpeedup reports whether splitting across M workers shortens
+// the completion time versus one instance at the same bid: the §6.1
+// condition t_o < (M−1)·t_k/(1−F(p)).
+func (m Market) ParallelSpeedup(p float64, job MapReduceJob, workers int) (bool, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return false, err
+	}
+	if workers < 2 {
+		return false, nil
+	}
+	f := mm.Price.CDF(p)
+	if f >= 1 {
+		return true, nil
+	}
+	return float64(job.Overhead) < float64(workers-1)*float64(mm.Slot)/(1-f), nil
+}
+
+// Plan is a complete MapReduce bidding plan (Eq. 20): a one-time
+// master bid, a persistent slave bid, and the worker count.
+type Plan struct {
+	// Master is the one-time bid for the master node, sized so the
+	// master's expected uninterrupted run covers the slaves'
+	// worst-case completion time.
+	Master Bid
+	// Slaves is the joint prediction for the M persistent slave
+	// requests (total cost across instances).
+	Slaves Bid
+	// Workers is M.
+	Workers int
+	// MasterRuntime is the worst-case slave completion time the
+	// master must outlive (the right-hand side of Eq. 20's first
+	// constraint).
+	MasterRuntime timeslot.Hours
+	// TotalCost is the expected job cost: master + slaves.
+	TotalCost float64
+	// OnDemandCost is the baseline: master + slaves on on-demand
+	// instances for the same wall-clock spans.
+	OnDemandCost float64
+	// Completion is the expected wall-clock completion time of the
+	// whole job.
+	Completion timeslot.Hours
+}
+
+// Savings reports the relative cost reduction versus on-demand.
+func (pl Plan) Savings() float64 {
+	if pl.OnDemandCost == 0 {
+		return 0
+	}
+	return 1 - pl.TotalCost/pl.OnDemandCost
+}
+
+// masterRequirement evaluates the right-hand side of Eq. 20's first
+// constraint: the worst-case completion time of the M parallel
+// sub-jobs at slave bid pv,
+//
+//	(1/F_v)·(t_s+t_o−M·t_r)/(1−(t_r/t_k)(1−F_v)) − (M−1)·t_k/(1−F_v).
+func masterRequirement(slave Market, job MapReduceJob, pv float64, workers int) (timeslot.Hours, error) {
+	run, err := slave.ExpectedRunningTime(pv, job.singleJob(workers))
+	if err != nil {
+		return 0, err
+	}
+	fv := slave.Price.CDF(pv)
+	if fv <= 0 {
+		return 0, fmt.Errorf("%w: slave bid %v never runs", ErrInfeasible, pv)
+	}
+	slot := float64(slave.Slot)
+	req := float64(run)/fv - float64(workers-1)*slot/(1-fv)
+	if math.IsNaN(req) || math.IsInf(req, 0) { // F_v = 1 makes the subtrahend infinite
+		req = 0
+	}
+	if req < 0 {
+		req = 0
+	}
+	return timeslot.Hours(req), nil
+}
+
+// PlanMapReduce solves Eq. 20: it picks the optimal slave bid
+// (independent of the master, Eq. 19), then the smallest worker count
+// M — at least minWorkers (job.Workers when positive, otherwise 2) —
+// for which a feasible one-time master bid exists whose expected
+// uninterrupted run covers the slaves' worst-case completion, and
+// finally prices the master with Prop. 4 against that required
+// runtime.
+func PlanMapReduce(master, slave Market, job MapReduceJob) (Plan, error) {
+	mMaster, err := master.normalized()
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: master market: %w", err)
+	}
+	mSlave, err := slave.normalized()
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: slave market: %w", err)
+	}
+	if err := job.Validate(); err != nil {
+		return Plan{}, err
+	}
+
+	minWorkers := 2
+	fixed := false
+	if job.Workers > 0 {
+		minWorkers, fixed = job.Workers, true
+	}
+	maxWorkers := job.MaxWorkersForRecovery()
+	if fixed && minWorkers > maxWorkers {
+		return Plan{}, fmt.Errorf("%w: %d workers exceed MaxWorkersForRecovery = %d", ErrInfeasible, minWorkers, maxWorkers)
+	}
+
+	// Slave bid first: Eq. 19's optimum does not depend on M.
+	slaveOpt, err := mSlave.SlaveBid(job, minWorkers)
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: slave bid: %w", err)
+	}
+	pv := slaveOpt.Price
+
+	// Master bid next, independent of M (the paper's reading of
+	// Eq. 20): the one-time optimum of Prop. 4 for the job's
+	// execution time. Its expected uninterrupted run t_k/(1−F_m(p_m))
+	// then bounds how long the slaves may take, and M grows until the
+	// first constraint holds.
+	mb, err := mMaster.OneTimeBid(Job{Exec: job.Exec + job.Overhead})
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: master bid: %w", err)
+	}
+	masterRun, err := mMaster.ExpectedUninterruptedRun(mb.Price)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	searchMax := maxWorkers
+	if !fixed && searchMax > 1024 {
+		searchMax = 1024
+	}
+	for workers := minWorkers; workers <= searchMax; workers++ {
+		req, err := masterRequirement(mSlave, job, pv, workers)
+		if err != nil {
+			continue
+		}
+		if float64(req) > float64(masterRun) {
+			// Eq. 20's first constraint fails: the master would not
+			// outlive the slaves' worst case. More workers shrink
+			// the requirement.
+			if fixed {
+				return Plan{}, fmt.Errorf("%w: master (uninterrupted run %v) cannot outlive %d slaves (worst case %v)",
+					ErrInfeasible, masterRun, workers, req)
+			}
+			continue
+		}
+		sb, err := mSlave.EvalSlaves(pv, job, workers)
+		if err != nil {
+			if fixed {
+				return Plan{}, err
+			}
+			continue
+		}
+		// The master runs for the slaves' completion span; its cost
+		// and on-demand baseline scale with that span, not with t_s.
+		master := mb
+		span := math.Max(float64(req), float64(sb.ExpectedCompletion))
+		masterCost := span * master.ExpectedSpot
+		master.ExpectedRunTime = timeslot.Hours(span)
+		master.ExpectedCompletion = timeslot.Hours(span)
+		master.ExpectedCost = masterCost
+		master.OnDemandCost = span * mMaster.OnDemand
+		master.BeatsOnDemand = masterCost <= master.OnDemandCost
+		pl := Plan{
+			Master:        master,
+			Slaves:        sb,
+			Workers:       workers,
+			MasterRuntime: timeslot.Hours(span),
+			TotalCost:     masterCost + sb.ExpectedCost,
+			OnDemandCost:  master.OnDemandCost + sb.OnDemandCost,
+			Completion:    sb.ExpectedCompletion,
+		}
+		return pl, nil
+	}
+	return Plan{}, fmt.Errorf("%w: no worker count in [%d, %d] admits a master bid ≤ π̄", ErrInfeasible, minWorkers, searchMax)
+}

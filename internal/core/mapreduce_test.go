@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// wordCountJob mirrors §7.2's parameters: t_r = 30s, t_o = 60s.
+var wordCountJob = MapReduceJob{
+	Exec:     2, // 2 instance-hours of total work
+	Recovery: timeslot.Seconds(30),
+	Overhead: timeslot.Seconds(60),
+}
+
+// slaveMarket returns a compute-optimized market for the slave nodes
+// (the paper bids on stronger CPUs for slaves).
+func slaveMarket(t *testing.T) Market {
+	t.Helper()
+	c, err := trace.CalibrationFor(instances.C34XL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := c.PriceDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Market{Price: pd, OnDemand: c.Provider.POnDemand, MinPrice: c.Provider.PMin}
+}
+
+func TestMapReduceJobValidate(t *testing.T) {
+	if err := wordCountJob.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := []MapReduceJob{
+		{Exec: 0},
+		{Exec: 1, Recovery: -1},
+		{Exec: 1, Overhead: -1},
+		{Exec: 1, Workers: -2},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("bad job %d accepted", i)
+		}
+	}
+}
+
+func TestMaxWorkersForRecovery(t *testing.T) {
+	j := MapReduceJob{Exec: 1, Recovery: timeslot.Hours(0.1), Overhead: timeslot.Hours(0.05)}
+	// (1 + 0.05)/0.1 = 10.5 → ceil − 1 = 10.
+	if got := j.MaxWorkersForRecovery(); got != 10 {
+		t.Errorf("MaxWorkers = %d, want 10", got)
+	}
+	if got := (MapReduceJob{Exec: 1}).MaxWorkersForRecovery(); got != math.MaxInt32 {
+		t.Errorf("zero recovery MaxWorkers = %d", got)
+	}
+}
+
+func TestSlaveBidEqualsPersistentOptimum(t *testing.T) {
+	// Eq. 19's FOC does not involve M or t_s: the slave bid equals
+	// the single-instance persistent optimum for the same t_r.
+	m := slaveMarket(t)
+	sb, err := m.SlaveBid(wordCountJob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.PersistentBid(wordCountJob.singleJob(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sb.Price-pb.Price) > 1e-9 {
+		t.Errorf("slave bid %v vs persistent optimum %v", sb.Price, pb.Price)
+	}
+	// And across worker counts the price stays (nearly) the same.
+	sb8, err := m.SlaveBid(wordCountJob, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sb8.Price-sb.Price) > 1e-6*sb.Price {
+		t.Errorf("slave bid moved with M: %v vs %v", sb8.Price, sb.Price)
+	}
+}
+
+func TestEvalSlavesAccounting(t *testing.T) {
+	m := slaveMarket(t)
+	workers := 4
+	sb, err := m.EvalSlaves(0.09, wordCountJob, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total run time matches Eq. 17 via the singleJob reduction.
+	single, err := m.EvalPersistent(0.09, wordCountJob.singleJob(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sb.ExpectedRunTime-single.ExpectedRunTime)) > 1e-12 {
+		t.Error("Eq. 17 total run time mismatch")
+	}
+	// Eq. 18: per-worker completion = total/(M·F).
+	want := float64(single.ExpectedRunTime) / float64(workers) / single.AcceptProb
+	if math.Abs(float64(sb.ExpectedCompletion)-want) > 1e-12 {
+		t.Errorf("completion %v, want %v", float64(sb.ExpectedCompletion), want)
+	}
+	// Cost = total run × conditional mean.
+	if math.Abs(sb.ExpectedCost-float64(sb.ExpectedRunTime)*sb.ExpectedSpot) > 1e-12 {
+		t.Error("cost accounting mismatch")
+	}
+}
+
+func TestEvalSlavesErrors(t *testing.T) {
+	m := slaveMarket(t)
+	if _, err := m.EvalSlaves(0.09, wordCountJob, 0); err == nil {
+		t.Error("0 workers accepted")
+	}
+	tooMany := wordCountJob.MaxWorkersForRecovery() + 1
+	if _, err := m.EvalSlaves(0.09, wordCountJob, tooMany); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("workers beyond recovery cap: %v", err)
+	}
+	if _, err := m.SlaveBid(wordCountJob, 0); err == nil {
+		t.Error("SlaveBid with 0 workers accepted")
+	}
+	if _, err := m.SlaveBid(wordCountJob, tooMany); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("SlaveBid beyond recovery cap: %v", err)
+	}
+}
+
+func TestMoreWorkersShortenCompletion(t *testing.T) {
+	// §6.1: with small overhead, splitting shortens the wall clock.
+	m := slaveMarket(t)
+	prev := math.Inf(1)
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		sb, err := m.SlaveBid(wordCountJob, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := float64(sb.ExpectedCompletion); c > prev+1e-12 {
+			t.Fatalf("completion grew at M=%d", workers)
+		} else {
+			prev = c
+		}
+	}
+}
+
+func TestCostDropsWithWorkersWhenOverheadSmall(t *testing.T) {
+	// §6.1: t_o < (M−1)·t_r ⇒ more instances lower the total cost.
+	m := slaveMarket(t)
+	job := wordCountJob // t_o = 60s, t_r = 30s ⇒ M ≥ 3 qualifies
+	c4, err := m.SlaveBid(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := m.SlaveBid(job, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8.ExpectedCost > c4.ExpectedCost {
+		t.Errorf("cost rose with more workers: %v → %v", c4.ExpectedCost, c8.ExpectedCost)
+	}
+}
+
+func TestParallelSpeedupCondition(t *testing.T) {
+	m := slaveMarket(t)
+	ok, err := m.ParallelSpeedup(0.09, wordCountJob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("60s overhead should allow speedup at M=4")
+	}
+	// Massive overhead defeats parallelism.
+	heavy := wordCountJob
+	heavy.Overhead = 10
+	ok, err = m.ParallelSpeedup(0.09, heavy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("10h overhead should not speed up M=2")
+	}
+	if ok, _ := m.ParallelSpeedup(0.09, wordCountJob, 1); ok {
+		t.Error("M=1 cannot speed up")
+	}
+}
+
+func TestPlanMapReduce(t *testing.T) {
+	master := analyticMarket(t) // r3.xlarge master (paper: weaker master)
+	slave := slaveMarket(t)     // c3.4xlarge slaves
+	plan, err := PlanMapReduce(master, slave, wordCountJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports minimum M as low as 3 or 4; ours should be
+	// small too.
+	if plan.Workers < 2 || plan.Workers > 16 {
+		t.Errorf("minimal M = %d, want single digits", plan.Workers)
+	}
+	// Master must outlive the slaves' worst case: its expected
+	// uninterrupted run covers MasterRuntime.
+	run, err := master.ExpectedUninterruptedRun(plan.Master.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(run) < float64(plan.MasterRuntime)-1e-9 {
+		t.Errorf("master uninterrupted run %v below requirement %v",
+			float64(run), float64(plan.MasterRuntime))
+	}
+	// Headline economics: big savings vs on-demand (Fig. 7 ≈ 90%).
+	if plan.Savings() < 0.7 {
+		t.Errorf("savings = %v", plan.Savings())
+	}
+	if plan.TotalCost != plan.Master.ExpectedCost+plan.Slaves.ExpectedCost {
+		t.Error("TotalCost accounting mismatch")
+	}
+	// Master is the cheap part (paper: 10–25% of slave cost).
+	ratio := plan.Master.ExpectedCost / plan.Slaves.ExpectedCost
+	if ratio > 0.6 {
+		t.Errorf("master/slave cost ratio %v unexpectedly high", ratio)
+	}
+}
+
+func TestPlanMapReduceFixedWorkers(t *testing.T) {
+	master := analyticMarket(t)
+	slave := slaveMarket(t)
+	job := wordCountJob
+	job.Workers = 6
+	plan, err := PlanMapReduce(master, slave, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != 6 {
+		t.Errorf("Workers = %d, want 6", plan.Workers)
+	}
+}
+
+func TestPlanMapReduceErrors(t *testing.T) {
+	master := analyticMarket(t)
+	slave := slaveMarket(t)
+	if _, err := PlanMapReduce(Market{}, slave, wordCountJob); err == nil {
+		t.Error("bad master market accepted")
+	}
+	if _, err := PlanMapReduce(master, Market{}, wordCountJob); err == nil {
+		t.Error("bad slave market accepted")
+	}
+	if _, err := PlanMapReduce(master, slave, MapReduceJob{}); err == nil {
+		t.Error("bad job accepted")
+	}
+	over := wordCountJob
+	over.Workers = over.MaxWorkersForRecovery() + 1
+	if _, err := PlanMapReduce(master, slave, over); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("worker overflow: %v", err)
+	}
+}
+
+func TestPlanSavingsZeroBaseline(t *testing.T) {
+	if (Plan{}).Savings() != 0 {
+		t.Error("Savings with zero baseline should be 0")
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+var (
+	persist10 = Job{Exec: 1, Recovery: timeslot.Seconds(10)}
+	persist30 = Job{Exec: 1, Recovery: timeslot.Seconds(30)}
+)
+
+func TestExpectedRunningTimeClosedForm(t *testing.T) {
+	// Hand-computed: F(p) = 0.5, t_r/t_k = 0.5, t_s = 1, t_r = 1/24 h.
+	u, _ := dist.NewUniform(0, 1)
+	m := Market{Price: u, OnDemand: 2, Slot: timeslot.Hours(1.0 / 12.0)}
+	job := Job{Exec: 1, Recovery: timeslot.Hours(1.0 / 24.0)}
+	run, err := m.ExpectedRunningTime(0.5, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1 − 1/24) / (1 − 0.5·0.5) = (23/24)/(3/4) = 23/18.
+	want := (23.0 / 24.0) / 0.75
+	if math.Abs(float64(run)-want) > 1e-12 {
+		t.Errorf("run = %v, want %v", float64(run), want)
+	}
+}
+
+func TestExpectedRunningTimeInfeasible(t *testing.T) {
+	// Recovery of 2 slots with F = 0.4: t_r/t_k·(1−F) = 1.2 > 1.
+	u, _ := dist.NewUniform(0, 1)
+	m := Market{Price: u, OnDemand: 2, Slot: timeslot.Hours(0.1)}
+	job := Job{Exec: 1, Recovery: timeslot.Hours(0.2)}
+	if _, err := m.ExpectedRunningTime(0.4, job); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestRunningTimeDecreasesWithBid(t *testing.T) {
+	// Eq. 13: higher bids mean fewer interruptions, less recovery.
+	m := analyticMarket(t)
+	prev := math.Inf(1)
+	for _, p := range dist.Linspace(0.031, 0.17, 30) {
+		run, err := m.ExpectedRunningTime(p, persist30)
+		if err != nil {
+			continue
+		}
+		if float64(run) > prev+1e-12 {
+			t.Fatalf("running time increased at bid %v", p)
+		}
+		prev = float64(run)
+	}
+}
+
+func TestPsiDecreasing(t *testing.T) {
+	// See DESIGN.md: ψ decreases in p for decreasing spot densities.
+	m := analyticMarket(t)
+	prev := math.Inf(1)
+	for _, p := range dist.Linspace(0.0305, 0.17, 60) {
+		v, err := m.Psi(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("ψ increased at %v: %v > %v", p, v, prev)
+		}
+		prev = v
+	}
+	// ψ at the bottom of the support is +Inf (B = 0).
+	v, err := m.Psi(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v, 1) {
+		t.Errorf("ψ(π̲) = %v, want +Inf", v)
+	}
+}
+
+func TestPersistentBidOptimality(t *testing.T) {
+	// The returned bid beats every probe on a fine grid (the grid
+	// oracle of Prop. 5).
+	for name, m := range bothMarkets(t) {
+		for _, job := range []Job{persist10, persist30} {
+			bid, err := m.PersistentBid(job)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, p := range dist.Linspace(0.0301, 0.35, 500) {
+				probe, err := m.EvalPersistent(p, job)
+				if err != nil {
+					continue
+				}
+				if probe.ExpectedCost < bid.ExpectedCost-1e-9 {
+					t.Errorf("%s t_r=%v: probe %v costs %v < optimum %v at %v",
+						name, job.Recovery, p, probe.ExpectedCost, bid.ExpectedCost, bid.Price)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestPersistentBelowOneTime(t *testing.T) {
+	// Fig. 6(a): persistent bids sit below one-time bids — the user
+	// accepts interruptions in exchange for a lower price.
+	for name, m := range bothMarkets(t) {
+		ot, err := m.OneTimeBid(oneHourJob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, job := range []Job{persist10, persist30} {
+			ps, err := m.PersistentBid(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps.Price > ot.Price+1e-12 {
+				t.Errorf("%s t_r=%v: persistent bid %v above one-time %v",
+					name, job.Recovery, ps.Price, ot.Price)
+			}
+		}
+	}
+}
+
+func TestLongerRecoveryRaisesBid(t *testing.T) {
+	// §7.1: "longer recovery times (t_r = 30s rather than 10s) yield
+	// higher bid prices".
+	for name, m := range bothMarkets(t) {
+		b10, err := m.PersistentBid(persist10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b30, err := m.PersistentBid(persist30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b30.Price < b10.Price {
+			t.Errorf("%s: bid(t_r=30s) = %v < bid(t_r=10s) = %v", name, b30.Price, b10.Price)
+		}
+		// And the lower bid (10s) yields the lower cost — Fig. 6(c).
+		if b10.ExpectedCost > b30.ExpectedCost+1e-12 {
+			t.Errorf("%s: cost(10s) = %v above cost(30s) = %v", name, b10.ExpectedCost, b30.ExpectedCost)
+		}
+	}
+}
+
+func TestPersistentCheaperThanOneTime(t *testing.T) {
+	// Fig. 6(c): persistent requests reduce the final cost.
+	for name, m := range bothMarkets(t) {
+		ot, err := m.OneTimeBid(oneHourJob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := m.PersistentBid(persist30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.ExpectedCost > ot.ExpectedCost {
+			t.Errorf("%s: persistent cost %v above one-time %v", name, ps.ExpectedCost, ot.ExpectedCost)
+		}
+		// But completes later — Fig. 6(b).
+		if float64(ps.ExpectedCompletion) < float64(ot.ExpectedCompletion) {
+			t.Errorf("%s: persistent completion %v below one-time %v",
+				name, float64(ps.ExpectedCompletion), float64(ot.ExpectedCompletion))
+		}
+	}
+}
+
+func TestPersistentBeatsPercentileBaseline(t *testing.T) {
+	// §7.1: bidding the 90th percentile saves less than the optimum.
+	m := analyticMarket(t)
+	opt, err := m.PersistentBid(persist30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p90, err := m.PercentileBid(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.EvalPersistent(p90, persist30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ExpectedCost < opt.ExpectedCost-1e-12 {
+		t.Errorf("90th percentile cost %v beats optimum %v", base.ExpectedCost, opt.ExpectedCost)
+	}
+}
+
+func TestZeroRecoveryBidsFloor(t *testing.T) {
+	// Free interruptions ⇒ bid as low as possible.
+	m := analyticMarket(t)
+	bid, err := m.PersistentBid(Job{Exec: 1, Recovery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := m.Price.Support()
+	if bid.Price > sup.Lo+0.002 {
+		t.Errorf("zero-recovery bid %v far above floor %v", bid.Price, sup.Lo)
+	}
+}
+
+func TestPersistentInfeasibleRecovery(t *testing.T) {
+	// Recovery longer than a slot with a price support reaching
+	// beyond π̄: feasibility needs F(p) > 1 − t_k/t_r which may be
+	// unreachable below π̄.
+	u, _ := dist.NewUniform(0.1, 1.0)
+	m := Market{Price: u, OnDemand: 0.3}
+	job := Job{Exec: 10, Recovery: timeslot.Hours(1)} // t_r = 12 slots
+	if _, err := m.PersistentBid(job); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestEvalPersistentBelowSupport(t *testing.T) {
+	m := analyticMarket(t)
+	if _, err := m.EvalPersistent(0.001, persist30); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPersistentBeatsOnDemand(t *testing.T) {
+	// Prop. 5's proof: Φ(p*) ≤ t_s·π̄ always holds at the optimum.
+	for name, m := range bothMarkets(t) {
+		bid, err := m.PersistentBid(persist30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bid.BeatsOnDemand {
+			t.Errorf("%s: optimal persistent bid loses to on-demand", name)
+		}
+		if bid.Savings() < 0.8 {
+			t.Errorf("%s: savings %v below 80%%", name, bid.Savings())
+		}
+	}
+}
+
+// TestEq13MatchesMonteCarlo replays the persistent-request process —
+// i.i.d. slot prices, recovery t_r consumed from each post-interruption
+// slot — and compares the measured running time, completion time, and
+// interruption count against the closed forms (Eq. 12–13).
+func TestEq13MatchesMonteCarlo(t *testing.T) {
+	m := analyticMarket(t)
+	job := persist30
+	bid, err := m.PersistentBid(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := float64(timeslot.DefaultSlot)
+	r := rand.New(rand.NewSource(99))
+
+	const trials = 3000
+	var sumRun, sumCompl, sumInter float64
+	for trial := 0; trial < trials; trial++ {
+		remaining := float64(job.Exec)
+		var run, inter float64
+		var slots int
+		prevRunning := false
+		started := false
+		for remaining > 0 {
+			slots++
+			price := m.Price.Sample(r)
+			if bid.Price >= price {
+				avail := slot
+				if started && !prevRunning {
+					avail -= float64(job.Recovery) // recovery consumes work time
+					inter++
+				}
+				started = true
+				remaining -= avail
+				run += slot
+				prevRunning = true
+			} else {
+				prevRunning = false
+			}
+		}
+		sumRun += run
+		sumCompl += float64(slots) * slot
+		sumInter += inter
+	}
+	mcRun := sumRun / trials
+	mcCompl := sumCompl / trials
+	mcInter := sumInter / trials
+
+	// Eq. 13 is a continuous-time expectation; the slot-granular
+	// replay additionally bills the partially-used final slot and
+	// rounds recoveries into slot grains — worth about half a slot
+	// (≈ 4% of a 12-slot job). Allow 8%.
+	if rel := math.Abs(mcRun-float64(bid.ExpectedRunTime)) / float64(bid.ExpectedRunTime); rel > 0.08 {
+		t.Errorf("running time: MC %v vs Eq.13 %v (rel %v)", mcRun, float64(bid.ExpectedRunTime), rel)
+	}
+	if rel := math.Abs(mcCompl-float64(bid.ExpectedCompletion)) / float64(bid.ExpectedCompletion); rel > 0.08 {
+		t.Errorf("completion: MC %v vs model %v (rel %v)", mcCompl, float64(bid.ExpectedCompletion), rel)
+	}
+	if diff := math.Abs(mcInter - bid.ExpectedInterruptions); diff > math.Max(1, 0.25*bid.ExpectedInterruptions) {
+		t.Errorf("interruptions: MC %v vs model %v", mcInter, bid.ExpectedInterruptions)
+	}
+}
+
+func TestPercentileBid(t *testing.T) {
+	m := analyticMarket(t)
+	p90, err := m.PercentileBid(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Price.CDF(p90); math.Abs(got-0.9) > 1e-6 {
+		t.Errorf("CDF(p90) = %v", got)
+	}
+	for _, bad := range []float64{0, 100, -5, 120} {
+		if _, err := m.PercentileBid(bad); err == nil {
+			t.Errorf("percentile %v accepted", bad)
+		}
+	}
+	// Clamped to [floor, π̄].
+	u, _ := dist.NewUniform(0.1, 1.0)
+	clamped := Market{Price: u, OnDemand: 0.5}
+	p99, err := clamped.PercentileBid(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 > 0.5 {
+		t.Errorf("percentile bid %v above π̄", p99)
+	}
+}
+
+func TestOnDemandCost(t *testing.T) {
+	m := analyticMarket(t)
+	c, err := m.OnDemandCost(oneHourJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.35) > 1e-12 {
+		t.Errorf("on-demand cost = %v", c)
+	}
+	if _, err := m.OnDemandCost(Job{}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}

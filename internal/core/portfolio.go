@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Option is one instance type's candidate bid for a job — a row of
+// the cross-type comparison the paper's §7.1 tables invite the reader
+// to make.
+type Option struct {
+	// Name identifies the market (instance type).
+	Name string
+	// Bid is the optimal bid on that market.
+	Bid Bid
+	// Err reports why the market cannot serve the job (nil when Bid
+	// is valid). Infeasible markets sort last.
+	Err error
+}
+
+// RankMarkets computes the optimal persistent bid for the job on
+// every named market and returns the options sorted by expected cost
+// (cheapest first; infeasible markets last). Use it to pick the
+// instance type before bidding — the cross-type decision the paper
+// leaves to the reader.
+//
+// The comparison is only meaningful between markets able to run the
+// same job (the caller normalizes for capacity differences by scaling
+// Exec per type if needed).
+func RankMarkets(markets map[string]Market, job Job) ([]Option, error) {
+	if len(markets) == 0 {
+		return nil, fmt.Errorf("core: no markets to rank")
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Option, 0, len(markets))
+	for name, m := range markets {
+		bid, err := m.PersistentBid(job)
+		out = append(out, Option{Name: name, Bid: bid, Err: err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Err == nil && b.Err != nil:
+			return true
+		case a.Err != nil && b.Err == nil:
+			return false
+		case a.Err != nil:
+			return a.Name < b.Name
+		case a.Bid.ExpectedCost != b.Bid.ExpectedCost:
+			return a.Bid.ExpectedCost < b.Bid.ExpectedCost
+		default:
+			return a.Name < b.Name
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timeslot"
+)
+
+// TestPersistentBidPropertyRandomJobs drives the optimizer over
+// randomized (t_s, t_r) and checks the structural invariants of
+// Prop. 5 for every feasible job: the bid stays inside [π̲, π̄], the
+// cost never exceeds the on-demand baseline (the Eq. 15 constraint,
+// which the proof shows always holds at the optimum), the
+// interruptibility constraint Eq. 14 holds, and no probe from a
+// coarse grid beats the claimed optimum.
+func TestPersistentBidPropertyRandomJobs(t *testing.T) {
+	m := analyticMarket(t)
+	probes := []float64{0.0301, 0.0305, 0.031, 0.032, 0.0335, 0.036, 0.045, 0.08, 0.17, 0.3}
+	f := func(rawExec uint16, rawRec uint16) bool {
+		// t_s ∈ [0.1, 6.6] hours; t_r ∈ [0, ~0.5·t_s) hours.
+		exec := 0.1 + float64(rawExec)/10000.0
+		rec := float64(rawRec) / 65536.0 * 0.5 * exec
+		job := Job{Exec: timeslot.Hours(exec), Recovery: timeslot.Hours(rec)}
+		if job.Validate() != nil {
+			return true
+		}
+		bid, err := m.PersistentBid(job)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if bid.Price < m.MinPrice-1e-12 || bid.Price > m.OnDemand+1e-12 {
+			return false
+		}
+		if !bid.BeatsOnDemand {
+			return false
+		}
+		// Eq. 14 at the returned bid.
+		if float64(job.Recovery) >= float64(timeslot.DefaultSlot)/(1-bid.AcceptProb+1e-15) && bid.AcceptProb < 1 {
+			return false
+		}
+		for _, p := range probes {
+			probe, err := m.EvalPersistent(p, job)
+			if err != nil {
+				continue
+			}
+			if probe.ExpectedCost < bid.ExpectedCost-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOneTimeBidPropertyRandomJobs checks Prop. 4 invariants over
+// random execution times: F(p*) covers the no-interruption quantile
+// and longer jobs never bid lower.
+func TestOneTimeBidPropertyRandomJobs(t *testing.T) {
+	m := analyticMarket(t)
+	f := func(rawA, rawB uint16) bool {
+		a := 0.05 + float64(rawA)/8000.0
+		b := 0.05 + float64(rawB)/8000.0
+		if a > b {
+			a, b = b, a
+		}
+		bidA, errA := m.OneTimeBid(Job{Exec: timeslot.Hours(a)})
+		bidB, errB := m.OneTimeBid(Job{Exec: timeslot.Hours(b)})
+		if errA != nil || errB != nil {
+			return true // beyond π̄ coverage; allowed
+		}
+		if bidA.Price > bidB.Price+1e-12 {
+			return false
+		}
+		for _, bid := range []Bid{bidA, bidB} {
+			if bid.Price < m.MinPrice-1e-12 || bid.Price > m.OnDemand+1e-12 {
+				return false
+			}
+		}
+		qB := 1 - float64(timeslot.DefaultSlot)/b
+		return qB <= 0 || bidB.AcceptProb >= qB-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunningTimePropertyMonotone checks Eq. 13 monotonicity over
+// random bids: the expected running time never increases with the
+// bid, and never drops below t_s − t_r.
+func TestRunningTimePropertyMonotone(t *testing.T) {
+	m := analyticMarket(t)
+	job := persist30
+	f := func(rawP1, rawP2 uint16) bool {
+		lo, hi := 0.0305, 0.17
+		p1 := lo + (hi-lo)*float64(rawP1)/65536.0
+		p2 := lo + (hi-lo)*float64(rawP2)/65536.0
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		r1, err1 := m.ExpectedRunningTime(p1, job)
+		r2, err2 := m.ExpectedRunningTime(p2, job)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		if float64(r2) > float64(r1)+1e-12 {
+			return false
+		}
+		return float64(r2) >= float64(job.Exec-job.Recovery)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankMarkets(t *testing.T) {
+	r3 := analyticMarket(t) // on-demand 0.35
+	c3 := slaveMarket(t)    // on-demand 0.84
+	opts, err := RankMarkets(map[string]Market{"r3.xlarge": r3, "c3.4xlarge": c3}, persist30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 2 {
+		t.Fatalf("options = %d", len(opts))
+	}
+	// The cheaper market (r3.xlarge prices ≈ 0.034/h vs 0.08/h)
+	// ranks first.
+	if opts[0].Name != "r3.xlarge" {
+		t.Errorf("ranking = %v, %v", opts[0].Name, opts[1].Name)
+	}
+	if opts[0].Bid.ExpectedCost > opts[1].Bid.ExpectedCost {
+		t.Error("not sorted by cost")
+	}
+	// An infeasible market sorts last.
+	bad := r3
+	bad.OnDemand = 0.031 // cap below any feasible persistent bid for huge t_r
+	infeasJob := Job{Exec: 10, Recovery: timeslot.Hours(1)}
+	opts, err = RankMarkets(map[string]Market{"good": c3, "bad": bad}, infeasJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[len(opts)-1].Err == nil {
+		// If both feasible this probe is moot; require at least
+		// deterministic order.
+		if opts[0].Name != "bad" && opts[0].Err != nil {
+			t.Error("feasible option not first")
+		}
+	}
+	if _, err := RankMarkets(nil, persist30); err == nil {
+		t.Error("empty market set accepted")
+	}
+	if _, err := RankMarkets(map[string]Market{"a": r3}, Job{}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestRankMarketsDeterministicTieBreak(t *testing.T) {
+	m := analyticMarket(t)
+	opts, err := RankMarkets(map[string]Market{"b": m, "a": m}, persist30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].Name != "a" || opts[1].Name != "b" {
+		t.Errorf("tie break order = %v, %v", opts[0].Name, opts[1].Name)
+	}
+	if math.Abs(opts[0].Bid.ExpectedCost-opts[1].Bid.ExpectedCost) > 1e-12 {
+		t.Error("identical markets should tie")
+	}
+}

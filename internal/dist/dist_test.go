@@ -1,0 +1,339 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allDists returns one instance of every parametric family plus an
+// empirical distribution, for table-driven law checks.
+func allDists(t *testing.T) map[string]Dist {
+	t.Helper()
+	u, err := NewUniform(0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExponential(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShiftedExponential(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPareto(5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	emp, err := NewEmpirical(SampleN(p, r, 4000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Dist{
+		"uniform":     u,
+		"exponential": e,
+		"shifted-exp": se,
+		"pareto":      p,
+		"empirical":   emp,
+	}
+}
+
+// interiorProbe returns a handful of CDF levels strictly inside (0,1).
+var probeQs = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for name, d := range allDists(t) {
+		lo := d.Support().Lo
+		hi := d.Support().Hi
+		if math.IsInf(hi, 1) {
+			hi = d.Quantile(0.999)
+		}
+		prev := -1.0
+		for _, x := range Linspace(lo-0.1, hi+0.1, 200) {
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Errorf("%s: CDF(%v) = %v outside [0,1]", name, x, c)
+			}
+			if c < prev-1e-12 {
+				t.Errorf("%s: CDF decreased at %v: %v < %v", name, x, c, prev)
+			}
+			prev = c
+		}
+		if got := d.CDF(lo - 1); got != 0 {
+			t.Errorf("%s: CDF below support = %v, want 0", name, got)
+		}
+	}
+}
+
+func TestQuantileCDFInverse(t *testing.T) {
+	for name, d := range allDists(t) {
+		if name == "empirical" {
+			// ECDF is a step function; the interpolated quantile
+			// is only an approximate inverse. Checked separately.
+			continue
+		}
+		for _, q := range probeQs {
+			x := d.Quantile(q)
+			if got := d.CDF(x); math.Abs(got-q) > 1e-9 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", name, q, got)
+			}
+		}
+	}
+}
+
+func TestEmpiricalQuantileApproxInverse(t *testing.T) {
+	d := allDists(t)["empirical"]
+	for _, q := range probeQs {
+		x := d.Quantile(q)
+		got := d.CDF(x)
+		if math.Abs(got-q) > 0.01 { // 4000 samples → ECDF step 2.5e-4
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	for name, d := range allDists(t) {
+		lo := d.Support().Lo
+		hi := d.Support().Hi
+		want := 1.0
+		if math.IsInf(hi, 1) {
+			hi = d.Quantile(0.9999)
+			want = 0.9999
+		}
+		got := Integrate(d.PDF, lo, hi, 1e-10)
+		tol := 1e-6
+		if name == "empirical" {
+			tol = 0.02 // histogram density
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: ∫PDF = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSampleMomentsMatchAnalytic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for name, d := range allDists(t) {
+		xs := SampleN(d, r, 200000)
+		m, v := MeanVar(xs)
+		if math.IsInf(d.Mean(), 0) {
+			continue
+		}
+		if rel := math.Abs(m-d.Mean()) / math.Max(d.Mean(), 1e-9); rel > 0.02 {
+			t.Errorf("%s: sample mean %v vs analytic %v", name, m, d.Mean())
+		}
+		if math.IsInf(d.Var(), 0) || d.Var() == 0 {
+			continue
+		}
+		if rel := math.Abs(v-d.Var()) / d.Var(); rel > 0.08 {
+			t.Errorf("%s: sample var %v vs analytic %v", name, v, d.Var())
+		}
+	}
+}
+
+func TestSamplesRespectSupport(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for name, d := range allDists(t) {
+		sup := d.Support()
+		for i := 0; i < 2000; i++ {
+			x := d.Sample(r)
+			if !sup.Contains(x) {
+				t.Fatalf("%s: sample %v outside support %v", name, x, sup)
+			}
+		}
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	p, _ := NewPareto(3, 1)
+	e, _ := NewExponential(2)
+	u, _ := NewUniform(-1, 1)
+	f := func(raw uint16) bool {
+		q := float64(raw) / 65536.0 // [0, 1)
+		for _, d := range []Dist{p, e, u} {
+			x := d.Quantile(q)
+			if math.Abs(d.CDF(x)-q) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewUniform(1, 1); err == nil {
+		t.Error("NewUniform(1,1) accepted")
+	}
+	if _, err := NewUniform(2, 1); err == nil {
+		t.Error("NewUniform(2,1) accepted")
+	}
+	if _, err := NewExponential(0); err == nil {
+		t.Error("NewExponential(0) accepted")
+	}
+	if _, err := NewExponential(-1); err == nil {
+		t.Error("NewExponential(-1) accepted")
+	}
+	if _, err := NewShiftedExponential(1, math.NaN()); err == nil {
+		t.Error("NewShiftedExponential NaN shift accepted")
+	}
+	if _, err := NewPareto(0, 1); err == nil {
+		t.Error("NewPareto(0,1) accepted")
+	}
+	if _, err := NewPareto(2, 0); err == nil {
+		t.Error("NewPareto(2,0) accepted")
+	}
+	if _, err := NewEmpirical(nil, 0); err == nil {
+		t.Error("NewEmpirical(nil) accepted")
+	}
+	if _, err := NewEmpirical([]float64{1, math.NaN()}, 0); err == nil {
+		t.Error("NewEmpirical with NaN accepted")
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	p, _ := NewPareto(5, 2)
+	if got, want := p.Mean(), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Var = xm²·α/((α−1)²(α−2)) = 4·5/(16·3) = 5/12·... = 20/48
+	if got, want := p.Var(), 4.0*5.0/(16.0*3.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, want)
+	}
+	heavy, _ := NewPareto(0.9, 1)
+	if !math.IsInf(heavy.Mean(), 1) {
+		t.Error("Pareto α<1 mean should be +Inf")
+	}
+	mid, _ := NewPareto(1.5, 1)
+	if !math.IsInf(mid.Var(), 1) {
+		t.Error("Pareto α<2 variance should be +Inf")
+	}
+}
+
+func TestExponentialShift(t *testing.T) {
+	e, _ := NewShiftedExponential(0.5, 2)
+	if got := e.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("shifted mean = %v, want 2.5", got)
+	}
+	if got := e.CDF(2); got != 0 {
+		t.Errorf("CDF at shift = %v, want 0", got)
+	}
+	if got := e.PDF(1.9); got != 0 {
+		t.Errorf("PDF below shift = %v, want 0", got)
+	}
+}
+
+func TestEmpiricalCDFExact(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := e.N(); got != 4 {
+		t.Errorf("N = %d", got)
+	}
+}
+
+func TestEmpiricalPartialMean(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.PartialMean(2.5), (1.0+2.0)/4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PartialMean(2.5) = %v, want %v", got, want)
+	}
+	if got := e.PartialMean(0); got != 0 {
+		t.Errorf("PartialMean(0) = %v, want 0", got)
+	}
+	if got, want := e.PartialMean(10), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PartialMean(10) = %v, want full mean %v", got, want)
+	}
+}
+
+func TestEmpiricalDegenerate(t *testing.T) {
+	e, err := NewEmpirical([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if e.PDF(5) <= 0 {
+		t.Error("degenerate PDF at the point mass should be positive")
+	}
+	if got := e.Var(); got != 0 {
+		t.Errorf("Var = %v, want 0", got)
+	}
+}
+
+func TestPartialMeanGenericMatchesClosedForm(t *testing.T) {
+	// Uniform on [a,b]: ∫_a^p x/(b−a) dx = (p²−a²)/(2(b−a)).
+	u, _ := NewUniform(1, 3)
+	p := 2.0
+	want := (p*p - 1) / (2 * 2)
+	if got := PartialMean(u, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PartialMean(uniform, 2) = %v, want %v", got, want)
+	}
+	if got := PartialMean(u, 0.5); got != 0 {
+		t.Errorf("PartialMean below support = %v", got)
+	}
+}
+
+func TestConditionalMean(t *testing.T) {
+	u, _ := NewUniform(0, 1)
+	// E[X | X ≤ 0.5] = 0.25 for uniform(0,1).
+	if got := ConditionalMean(u, 0.5); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("ConditionalMean = %v, want 0.25", got)
+	}
+	if got := ConditionalMean(u, -1); !math.IsNaN(got) {
+		t.Errorf("ConditionalMean below support = %v, want NaN", got)
+	}
+	// Monotone non-decreasing in p (paper: Prop. 4's proof).
+	p, _ := NewPareto(5, 0.04)
+	prev := 0.0
+	for _, x := range Linspace(0.041, 0.4, 100) {
+		m := ConditionalMean(p, x)
+		if m < prev-1e-12 {
+			t.Fatalf("ConditionalMean decreased at %v", x)
+		}
+		prev = m
+	}
+}
+
+func TestMeanVarEdgeCases(t *testing.T) {
+	if m, v := MeanVar(nil); !math.IsNaN(m) || !math.IsNaN(v) {
+		t.Error("MeanVar(nil) should be NaN, NaN")
+	}
+	if m, v := MeanVar([]float64{4}); m != 4 || v != 0 {
+		t.Errorf("MeanVar([4]) = %v, %v", m, v)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if iv.Width() != 2 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if iv.Clamp(0) != 1 || iv.Clamp(5) != 3 || iv.Clamp(2) != 2 {
+		t.Error("Clamp wrong")
+	}
+	if iv.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empirical is the empirical distribution of a sample, the
+// representation the bidding client builds from a spot-price history
+// (Fig. 1's "price monitor"). The CDF is the usual right-continuous
+// ECDF; the PDF is a histogram density; the quantile function uses
+// linear interpolation between order statistics, matching the common
+// "type 7" convention.
+type Empirical struct {
+	xs     []float64 // sorted ascending
+	prefix []float64 // prefix[i] = Σ xs[:i], for O(log n) partial means
+	bins   []float64 // histogram bin edges, len = nb+1
+	dens   []float64 // histogram densities,  len = nb
+}
+
+// NewEmpirical builds an empirical distribution from the sample xs
+// (which it copies and sorts). The histogram used for PDF evaluation
+// has nbins equal-width bins over [min, max]; nbins ≤ 0 selects
+// a square-root rule automatically.
+func NewEmpirical(xs []float64, nbins int) (*Empirical, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empirical distribution needs at least one sample", ErrBadParam)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	for _, x := range s {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: empirical sample contains %v", ErrBadParam, x)
+		}
+	}
+	sort.Float64s(s)
+	if nbins <= 0 {
+		nbins = int(math.Ceil(math.Sqrt(float64(len(s)))))
+		if nbins < 1 {
+			nbins = 1
+		}
+	}
+	e := &Empirical{xs: s, prefix: make([]float64, len(s)+1)}
+	for i, x := range s {
+		e.prefix[i+1] = e.prefix[i] + x
+	}
+	e.buildHistogram(nbins)
+	return e, nil
+}
+
+func (e *Empirical) buildHistogram(nbins int) {
+	lo, hi := e.xs[0], e.xs[len(e.xs)-1]
+	if hi == lo {
+		// Degenerate sample: one point mass. Use a single
+		// sliver-width bin so the PDF stays finite.
+		w := math.Max(math.Abs(lo)*1e-9, 1e-12)
+		e.bins = []float64{lo - w/2, lo + w/2}
+		e.dens = []float64{1 / w}
+		return
+	}
+	e.bins = Linspace(lo, hi, nbins+1)
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range e.xs {
+		i := int((x - lo) / width)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	e.dens = make([]float64, nbins)
+	n := float64(len(e.xs))
+	for i, c := range counts {
+		e.dens[i] = float64(c) / (n * width)
+	}
+}
+
+// N reports the sample size.
+func (e *Empirical) N() int { return len(e.xs) }
+
+// Values returns the sorted sample (shared, callers must not modify).
+func (e *Empirical) Values() []float64 { return e.xs }
+
+// PDF implements Dist using the histogram density.
+func (e *Empirical) PDF(x float64) float64 {
+	if x < e.bins[0] || x > e.bins[len(e.bins)-1] {
+		return 0
+	}
+	// Binary search for the bin containing x.
+	i := sort.SearchFloat64s(e.bins, x)
+	// SearchFloat64s returns the first index with bins[i] >= x.
+	if i > 0 {
+		i--
+	}
+	if i >= len(e.dens) {
+		i = len(e.dens) - 1
+	}
+	return e.dens[i]
+}
+
+// CDF implements Dist with the right-continuous ECDF
+// F(x) = #{x_i ≤ x}/n.
+func (e *Empirical) CDF(x float64) float64 {
+	// Index of first element > x.
+	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
+	return float64(i) / float64(len(e.xs))
+}
+
+// Quantile implements Dist with linear interpolation between order
+// statistics ("type 7": h = (n−1)q).
+func (e *Empirical) Quantile(q float64) float64 {
+	checkProb(q)
+	n := len(e.xs)
+	if n == 1 {
+		return e.xs[0]
+	}
+	h := float64(n-1) * q
+	i := int(h)
+	if i >= n-1 {
+		return e.xs[n-1]
+	}
+	frac := h - float64(i)
+	return e.xs[i] + frac*(e.xs[i+1]-e.xs[i])
+}
+
+// Sample implements Dist by bootstrap resampling: a uniformly random
+// element of the original sample.
+func (e *Empirical) Sample(r *rand.Rand) float64 {
+	return e.xs[r.Intn(len(e.xs))]
+}
+
+// Mean implements Dist.
+func (e *Empirical) Mean() float64 {
+	m, _ := MeanVar(e.xs)
+	return m
+}
+
+// Var implements Dist.
+func (e *Empirical) Var() float64 {
+	_, v := MeanVar(e.xs)
+	return v
+}
+
+// Support implements Dist.
+func (e *Empirical) Support() Interval {
+	return Interval{Lo: e.xs[0], Hi: e.xs[len(e.xs)-1]}
+}
+
+// PartialMean returns (1/n)·Σ_{x_i ≤ p} x_i, i.e. ∫_{−∞}^{p} x dF(x)
+// for the empirical measure. The bidding formulas use it to evaluate
+// the expected accepted price E[π | π ≤ p]·F(p) (Eq. 9) exactly
+// against a price history, with no quadrature error.
+func (e *Empirical) PartialMean(p float64) float64 {
+	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > p })
+	return e.prefix[i] / float64(len(e.xs))
+}
+
+// partialMeaner is the optional fast path used by PartialMean.
+type partialMeaner interface {
+	PartialMean(p float64) float64
+}
+
+// PartialMean computes ∫_{lo}^{p} x·f(x) dx where lo is the lower end
+// of d's support — the building block of Eq. 9's conditional
+// expectation. Distributions that can compute it exactly (Empirical)
+// provide their own implementation; everything else falls back to
+// adaptive quadrature.
+func PartialMean(d Dist, p float64) float64 {
+	if pm, ok := d.(partialMeaner); ok {
+		return pm.PartialMean(p)
+	}
+	sup := d.Support()
+	lo := sup.Lo
+	if p <= lo {
+		return 0
+	}
+	hi := math.Min(p, sup.Hi)
+	return Integrate(func(x float64) float64 { return x * d.PDF(x) }, lo, hi, 1e-12)
+}
+
+// ConditionalMean computes E[X | X ≤ p] = PartialMean(p)/CDF(p)
+// (Eq. 9). It returns NaN when CDF(p) = 0 (the condition has
+// probability zero).
+func ConditionalMean(d Dist, p float64) float64 {
+	c := d.CDF(p)
+	if c == 0 {
+		return math.NaN()
+	}
+	return PartialMean(d, p) / c
+}

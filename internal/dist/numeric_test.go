@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3; Simpson is exact for cubics.
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("∫x² = %v", got)
+	}
+	// ∫₀^π sin = 2
+	got = Integrate(math.Sin, 0, math.Pi, 1e-10)
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("∫sin = %v", got)
+	}
+}
+
+func TestIntegrateOrientation(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got := Integrate(f, 1, 0, 1e-10); math.Abs(got+0.5) > 1e-10 {
+		t.Errorf("reversed integral = %v, want -0.5", got)
+	}
+	if got := Integrate(f, 2, 2, 1e-10); got != 0 {
+		t.Errorf("empty integral = %v", got)
+	}
+}
+
+func TestIntegrateSharpPeak(t *testing.T) {
+	// Narrow Gaussian bump: adaptive refinement must find it.
+	f := func(x float64) float64 {
+		d := (x - 0.3) / 0.01
+		return math.Exp(-d * d / 2)
+	}
+	want := 0.01 * math.Sqrt(2*math.Pi) // total mass, tails negligible
+	got := Integrate(f, 0, 1, 1e-12)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("peak integral = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrateDefaultTolerance(t *testing.T) {
+	got := Integrate(func(x float64) float64 { return x }, 0, 1, 0)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("integral with tol=0 fallback = %v", got)
+	}
+}
+
+func TestBisectFindsRoot(t *testing.T) {
+	root := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v, want √2", root)
+	}
+	// Exact hits at endpoints.
+	if got := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12, 100); got != 0 {
+		t.Errorf("root at lo: %v", got)
+	}
+	if got := Bisect(func(x float64) float64 { return x - 1 }, 0, 1, 1e-12, 100); got != 1 {
+		t.Errorf("root at hi: %v", got)
+	}
+}
+
+func TestBisectClampsWithoutSignChange(t *testing.T) {
+	// f > 0 everywhere and decreasing: nearest endpoint is hi.
+	f := func(x float64) float64 { return 2 - x }
+	if got := Bisect(f, 0, 1, 1e-12, 100); got != 1 {
+		t.Errorf("clamp = %v, want 1", got)
+	}
+	// f > 0 everywhere and increasing: nearest endpoint is lo.
+	g := func(x float64) float64 { return 1 + x }
+	if got := Bisect(g, 0, 1, 1e-12, 100); got != 0 {
+		t.Errorf("clamp = %v, want 0", got)
+	}
+}
+
+func TestHasRoot(t *testing.T) {
+	if !HasRoot(func(x float64) float64 { return x - 0.5 }, 0, 1) {
+		t.Error("missed sign change")
+	}
+	if HasRoot(func(x float64) float64 { return x + 1 }, 0, 1) {
+		t.Error("claimed root where none exists")
+	}
+	if !HasRoot(func(x float64) float64 { return x }, 0, 1) {
+		t.Error("missed root at endpoint")
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	x := GoldenMin(func(x float64) float64 { return (x - 0.37) * (x - 0.37) }, 0, 1, 1e-10)
+	if math.Abs(x-0.37) > 1e-8 {
+		t.Errorf("minimizer = %v, want 0.37", x)
+	}
+	// Minimum at a boundary.
+	x = GoldenMin(func(x float64) float64 { return x }, 2, 5, 1e-10)
+	if math.Abs(x-2) > 1e-6 {
+		t.Errorf("boundary minimizer = %v, want 2", x)
+	}
+}
+
+func TestGridMin(t *testing.T) {
+	x, fx := GridMin(func(x float64) float64 { return math.Abs(x - 0.5) }, 0, 1, 1000)
+	if math.Abs(x-0.5) > 1e-3 || fx > 1e-3 {
+		t.Errorf("GridMin = (%v, %v)", x, fx)
+	}
+	x, _ = GridMin(func(x float64) float64 { return x }, 3, 4, 0)
+	if x != 3 {
+		t.Errorf("GridMin n<1 = %v", x)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(0,1,1) did not panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestQuantilePanicsOutsideUnit(t *testing.T) {
+	u, _ := NewUniform(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(-0.1) did not panic")
+		}
+	}()
+	u.Quantile(-0.1)
+}

@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Uniform is the continuous uniform distribution on [Lo, Hi]. The
+// provider model assumes users' bid prices are uniform on
+// [π̲, π̄] (paper §4.1), which makes the accepted-bid count
+// N(t) = L(t)·(π̄−π(t))/(π̄−π̲).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns the uniform distribution on [lo, hi].
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if !(lo < hi) || math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return Uniform{}, fmt.Errorf("%w: uniform bounds [%v, %v]", ErrBadParam, lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// PDF implements Dist.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF implements Dist.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile implements Dist.
+func (u Uniform) Quantile(q float64) float64 {
+	checkProb(q)
+	return u.Lo + q*(u.Hi-u.Lo)
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 {
+	return u.Lo + r.Float64()*(u.Hi-u.Lo)
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Var implements Dist.
+func (u Uniform) Var() float64 {
+	w := u.Hi - u.Lo
+	return w * w / 12
+}
+
+// Support implements Dist.
+func (u Uniform) Support() Interval { return Interval{Lo: u.Lo, Hi: u.Hi} }

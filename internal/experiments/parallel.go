@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachRun executes fn(run) for run ∈ [0, runs) across a bounded
+// worker pool and returns the first error. Each repetition of a §7
+// experiment owns its private region and client, so repetitions are
+// embarrassingly parallel; results must be written into
+// pre-allocated, per-run slots (no shared accumulation inside fn).
+func forEachRun(runs int, fn func(run int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	errOnce := sync.Once{}
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				if err := fn(run); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for run := 0; run < runs; run++ {
+		jobs <- run
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,173 @@
+// Package forecast implements the time-series price predictors the
+// paper *declines* to use (§5: "though time series forecasting may be
+// used instead, ... the spot prices' autocorrelation drops off
+// rapidly with a longer lag time, such predictions are likely to be
+// difficult") — so the claim can be tested instead of assumed. The
+// ForecastEval experiment measures each predictor's error as the
+// horizon grows and shows it converging to the unconditional standard
+// deviation, which is exactly why the bidding strategies work from
+// the price *distribution* rather than from point forecasts.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Predictor forecasts future spot prices from a history window. All
+// predictors are fit once per Predict call on the supplied history —
+// the rolling evaluation refits at every step, as an online client
+// would.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict returns the price forecast h slots ahead of the last
+	// history entry (h ≥ 1). The history must be non-empty.
+	Predict(history []float64, h int) (float64, error)
+}
+
+func checkInput(history []float64, h int) error {
+	if len(history) == 0 {
+		return fmt.Errorf("forecast: empty history")
+	}
+	if h < 1 {
+		return fmt.Errorf("forecast: horizon %d must be at least 1", h)
+	}
+	return nil
+}
+
+// Naive repeats the last observed price — the strongest baseline for
+// near-random-walk series and the implicit model behind "bid a bit
+// above the current price" folk strategies.
+type Naive struct{}
+
+// Name implements Predictor.
+func (Naive) Name() string { return "naive" }
+
+// Predict implements Predictor.
+func (Naive) Predict(history []float64, h int) (float64, error) {
+	if err := checkInput(history, h); err != nil {
+		return 0, err
+	}
+	return history[len(history)-1], nil
+}
+
+// SMA predicts the mean of the last Window observations.
+type SMA struct {
+	// Window is the averaging window in slots (≥ 1).
+	Window int
+}
+
+// Name implements Predictor.
+func (s SMA) Name() string { return fmt.Sprintf("sma-%d", s.Window) }
+
+// Predict implements Predictor.
+func (s SMA) Predict(history []float64, h int) (float64, error) {
+	if err := checkInput(history, h); err != nil {
+		return 0, err
+	}
+	if s.Window < 1 {
+		return 0, fmt.Errorf("forecast: SMA window %d must be at least 1", s.Window)
+	}
+	w := s.Window
+	if w > len(history) {
+		w = len(history)
+	}
+	return stats.Mean(history[len(history)-w:]), nil
+}
+
+// EWMA predicts an exponentially weighted moving average with
+// smoothing factor Alpha ∈ (0, 1].
+type EWMA struct {
+	Alpha float64
+}
+
+// Name implements Predictor.
+func (e EWMA) Name() string { return fmt.Sprintf("ewma-%.2f", e.Alpha) }
+
+// Predict implements Predictor.
+func (e EWMA) Predict(history []float64, h int) (float64, error) {
+	if err := checkInput(history, h); err != nil {
+		return 0, err
+	}
+	if !(e.Alpha > 0 && e.Alpha <= 1) {
+		return 0, fmt.Errorf("forecast: EWMA alpha %v outside (0, 1]", e.Alpha)
+	}
+	v := history[0]
+	for _, x := range history[1:] {
+		v = e.Alpha*x + (1-e.Alpha)*v
+	}
+	return v, nil
+}
+
+// AR1 fits a first-order autoregression by the Yule–Walker moment
+// estimates (φ = lag-1 autocorrelation, μ = sample mean) and predicts
+//
+//	x̂(t+h) = μ + φ^h · (x(t) − μ),
+//
+// decaying geometrically toward the mean — the textbook consequence
+// of the rapidly decaying autocorrelation §5 cites.
+type AR1 struct{}
+
+// Name implements Predictor.
+func (AR1) Name() string { return "ar1" }
+
+// Predict implements Predictor.
+func (AR1) Predict(history []float64, h int) (float64, error) {
+	if err := checkInput(history, h); err != nil {
+		return 0, err
+	}
+	mu := stats.Mean(history)
+	phi := stats.Autocorrelation(history, []int{1})[0]
+	if math.IsNaN(phi) {
+		phi = 0
+	}
+	// Clamp to stationarity.
+	if phi > 0.9999 {
+		phi = 0.9999
+	}
+	if phi < -0.9999 {
+		phi = -0.9999
+	}
+	last := history[len(history)-1]
+	return mu + math.Pow(phi, float64(h))*(last-mu), nil
+}
+
+// Errors summarizes a rolling forecast evaluation.
+type Errors struct {
+	// MAE and RMSE are the rolling mean absolute / root-mean-square
+	// errors.
+	MAE, RMSE float64
+	// N counts evaluated forecasts.
+	N int
+}
+
+// Evaluate runs a rolling-origin evaluation: for each index i past
+// warmup, the predictor sees history[:i] and forecasts history[i+h−1]
+// (h slots ahead). stride subsamples the origins to bound cost.
+func Evaluate(p Predictor, series []float64, h, warmup, stride int) (Errors, error) {
+	if warmup < 1 || warmup >= len(series) {
+		return Errors{}, fmt.Errorf("forecast: warmup %d outside (0, %d)", warmup, len(series))
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	var sumAbs, sumSq float64
+	var n int
+	for i := warmup; i+h-1 < len(series); i += stride {
+		pred, err := p.Predict(series[:i], h)
+		if err != nil {
+			return Errors{}, err
+		}
+		diff := pred - series[i+h-1]
+		sumAbs += math.Abs(diff)
+		sumSq += diff * diff
+		n++
+	}
+	if n == 0 {
+		return Errors{}, fmt.Errorf("forecast: no forecast origins (len %d, warmup %d, h %d)", len(series), warmup, h)
+	}
+	return Errors{MAE: sumAbs / float64(n), RMSE: math.Sqrt(sumSq / float64(n)), N: n}, nil
+}

@@ -1,0 +1,190 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/instances"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestInputValidation(t *testing.T) {
+	preds := []Predictor{Naive{}, SMA{Window: 3}, EWMA{Alpha: 0.3}, AR1{}}
+	for _, p := range preds {
+		if _, err := p.Predict(nil, 1); err == nil {
+			t.Errorf("%s: empty history accepted", p.Name())
+		}
+		if _, err := p.Predict([]float64{1}, 0); err == nil {
+			t.Errorf("%s: horizon 0 accepted", p.Name())
+		}
+		if p.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+	if _, err := (SMA{Window: 0}).Predict([]float64{1}, 1); err == nil {
+		t.Error("SMA window 0 accepted")
+	}
+	if _, err := (EWMA{Alpha: 0}).Predict([]float64{1}, 1); err == nil {
+		t.Error("EWMA alpha 0 accepted")
+	}
+	if _, err := (EWMA{Alpha: 1.5}).Predict([]float64{1}, 1); err == nil {
+		t.Error("EWMA alpha 1.5 accepted")
+	}
+}
+
+func TestNaive(t *testing.T) {
+	got, err := Naive{}.Predict([]float64{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("naive = %v", got)
+	}
+}
+
+func TestSMA(t *testing.T) {
+	got, err := SMA{Window: 2}.Predict([]float64{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("sma = %v", got)
+	}
+	// Window longer than history: whole-history mean.
+	got, _ = SMA{Window: 10}.Predict([]float64{1, 2, 3}, 1)
+	if got != 2 {
+		t.Errorf("clamped sma = %v", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	// α = 1 tracks the last value exactly.
+	got, err := EWMA{Alpha: 1}.Predict([]float64{1, 2, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("ewma α=1 = %v", got)
+	}
+	// α = 0.5 on {0, 1}: 0.5.
+	got, _ = EWMA{Alpha: 0.5}.Predict([]float64{0, 1}, 1)
+	if got != 0.5 {
+		t.Errorf("ewma = %v", got)
+	}
+}
+
+func TestAR1RecoversPhi(t *testing.T) {
+	// Synthesize a strongly autocorrelated AR(1) and check the
+	// forecast decays toward the mean at rate ≈ φ.
+	r := rand.New(rand.NewSource(3))
+	phi, mu := 0.9, 5.0
+	xs := make([]float64, 20000)
+	xs[0] = mu
+	for i := 1; i < len(xs); i++ {
+		xs[i] = mu + phi*(xs[i-1]-mu) + 0.1*r.NormFloat64()
+	}
+	// Force a known displacement at the end.
+	xs[len(xs)-1] = mu + 1
+	p1, err := AR1{}.Predict(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-(mu+phi)) > 0.05 {
+		t.Errorf("1-step = %v, want ≈ %v", p1, mu+phi)
+	}
+	p20, _ := AR1{}.Predict(xs, 20)
+	if math.Abs(p20-(mu+math.Pow(phi, 20))) > 0.1 {
+		t.Errorf("20-step = %v, want ≈ %v", p20, mu+math.Pow(phi, 20))
+	}
+	// Long horizon → unconditional mean.
+	p500, _ := AR1{}.Predict(xs, 500)
+	if math.Abs(p500-mu) > 0.05 {
+		t.Errorf("500-step = %v, want ≈ μ = %v", p500, mu)
+	}
+}
+
+func TestAR1DegenerateHistory(t *testing.T) {
+	got, err := AR1{}.Predict([]float64{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("singleton AR1 = %v", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(Naive{}, []float64{1, 2}, 1, 0, 1); err == nil {
+		t.Error("warmup 0 accepted")
+	}
+	if _, err := Evaluate(Naive{}, []float64{1, 2}, 1, 5, 1); err == nil {
+		t.Error("warmup past the series accepted")
+	}
+	if _, err := Evaluate(Naive{}, []float64{1, 2}, 9, 1, 1); err == nil {
+		t.Error("no origins accepted")
+	}
+}
+
+func TestEvaluatePerfectPredictorOnConstant(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 7
+	}
+	e, err := Evaluate(Naive{}, series, 5, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MAE != 0 || e.RMSE != 0 || e.N == 0 {
+		t.Errorf("errors on a constant series: %+v", e)
+	}
+}
+
+func TestForecastDegradesWithHorizonOnSpotTrace(t *testing.T) {
+	// The §5 claim: short-horizon forecasts work, long-horizon error
+	// approaches the unconditional spread — bidding must use the
+	// distribution, not point predictions.
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 14, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Evaluate(Naive{}, tr.Prices, 1, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Evaluate(Naive{}, tr.Prices, 288, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.RMSE >= long.RMSE {
+		t.Errorf("forecast error did not grow with horizon: %v vs %v", short.RMSE, long.RMSE)
+	}
+	// Long-horizon RMSE is comparable to (or exceeds) the series'
+	// own standard deviation — the naive forecast carries no signal
+	// a day out.
+	sd := stats.StdDev(tr.Prices)
+	if long.RMSE < 0.8*sd {
+		t.Errorf("day-ahead RMSE %v unexpectedly below the unconditional σ %v", long.RMSE, sd)
+	}
+}
+
+func TestAR1BeatsNaiveAtMediumHorizon(t *testing.T) {
+	// AR(1) decays toward the mean, which dominates the naive
+	// carry-forward once the dwell correlation has worn off.
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 14, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Evaluate(Naive{}, tr.Prices, 72, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Evaluate(AR1{}, tr.Prices, 72, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.RMSE > naive.RMSE {
+		t.Errorf("AR1 RMSE %v above naive %v at 6h horizon", ar.RMSE, naive.RMSE)
+	}
+}

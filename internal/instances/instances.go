@@ -1,0 +1,116 @@
+// Package instances holds the EC2 instance catalog used by the
+// paper's experiments: the Table 2 types (m3/r3/c3 families plus the
+// legacy m1.xlarge from Fig. 3(d)) with their resource capacities and
+// their 2014 US-East Linux on-demand prices π̄ — the price ceiling of
+// every spot market and the baseline of every cost comparison.
+package instances
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type identifies an EC2 instance type, e.g. "r3.xlarge".
+type Type string
+
+// The instance types appearing in the paper (Tables 2–4, Fig. 3).
+const (
+	M1XLarge Type = "m1.xlarge"
+	M3Medium Type = "m3.medium"
+	M3Large  Type = "m3.large"
+	M3XLarge Type = "m3.xlarge"
+	M32XL    Type = "m3.2xlarge"
+	R3Large  Type = "r3.large"
+	R3XLarge Type = "r3.xlarge"
+	R32XL    Type = "r3.2xlarge"
+	R34XL    Type = "r3.4xlarge"
+	R38XL    Type = "r3.8xlarge"
+	C3Large  Type = "c3.large"
+	C3XLarge Type = "c3.xlarge"
+	C32XL    Type = "c3.2xlarge"
+	C34XL    Type = "c3.4xlarge"
+	C38XL    Type = "c3.8xlarge"
+	G22XL    Type = "g2.2xlarge"
+	I2XLarge Type = "i2.xlarge"
+)
+
+// Spec describes an instance type: its size (Table 2) and its
+// on-demand price (2014 US-East, Linux).
+type Spec struct {
+	Type Type
+	// VCPU is the number of virtual CPUs.
+	VCPU int
+	// MemGiB is the memory capacity in GiB.
+	MemGiB float64
+	// SSD describes the instance storage, e.g. "2x320" (count x GB).
+	SSD string
+	// OnDemand is the hourly on-demand price π̄ in USD.
+	OnDemand float64
+}
+
+// catalog lists every instance type in the paper. Sizes follow
+// Table 2; on-demand prices are the published 2014 US-East Linux
+// rates.
+var catalog = map[Type]Spec{
+	M1XLarge: {Type: M1XLarge, VCPU: 4, MemGiB: 15, SSD: "4x420", OnDemand: 0.350},
+	M3Medium: {Type: M3Medium, VCPU: 1, MemGiB: 3.75, SSD: "1x4", OnDemand: 0.070},
+	M3Large:  {Type: M3Large, VCPU: 2, MemGiB: 7.5, SSD: "1x32", OnDemand: 0.140},
+	R3Large:  {Type: R3Large, VCPU: 2, MemGiB: 15.25, SSD: "1x32", OnDemand: 0.175},
+	R38XL:    {Type: R38XL, VCPU: 32, MemGiB: 244, SSD: "2x320", OnDemand: 2.800},
+	C3Large:  {Type: C3Large, VCPU: 2, MemGiB: 3.75, SSD: "2x16", OnDemand: 0.105},
+	G22XL:    {Type: G22XL, VCPU: 8, MemGiB: 15, SSD: "1x60", OnDemand: 0.650},
+	I2XLarge: {Type: I2XLarge, VCPU: 4, MemGiB: 30.5, SSD: "1x800", OnDemand: 0.853},
+	M3XLarge: {Type: M3XLarge, VCPU: 4, MemGiB: 15, SSD: "2x40", OnDemand: 0.280},
+	M32XL:    {Type: M32XL, VCPU: 8, MemGiB: 30, SSD: "2x80", OnDemand: 0.560},
+	R3XLarge: {Type: R3XLarge, VCPU: 4, MemGiB: 30.5, SSD: "1x80", OnDemand: 0.350},
+	R32XL:    {Type: R32XL, VCPU: 8, MemGiB: 61, SSD: "1x160", OnDemand: 0.700},
+	R34XL:    {Type: R34XL, VCPU: 16, MemGiB: 122, SSD: "1x320", OnDemand: 1.400},
+	C3XLarge: {Type: C3XLarge, VCPU: 4, MemGiB: 7.5, SSD: "2x40", OnDemand: 0.210},
+	C32XL:    {Type: C32XL, VCPU: 8, MemGiB: 15, SSD: "2x80", OnDemand: 0.420},
+	C34XL:    {Type: C34XL, VCPU: 16, MemGiB: 30, SSD: "2x160", OnDemand: 0.840},
+	C38XL:    {Type: C38XL, VCPU: 32, MemGiB: 60, SSD: "2x320", OnDemand: 1.680},
+}
+
+// Lookup returns the spec for an instance type.
+func Lookup(t Type) (Spec, error) {
+	s, ok := catalog[t]
+	if !ok {
+		return Spec{}, fmt.Errorf("instances: unknown instance type %q", t)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for the package's own constants; it panics on
+// an unknown type (a programming error, not an input error).
+func MustLookup(t Type) Spec {
+	s, err := Lookup(t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// All returns every cataloged spec, sorted by type name for
+// deterministic iteration.
+func All() []Spec {
+	out := make([]Spec, 0, len(catalog))
+	for _, s := range catalog {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// Table3Types are the five instance types of the paper's
+// single-instance experiments (Table 3, Figs. 5–6).
+func Table3Types() []Type {
+	return []Type{R3XLarge, R32XL, R34XL, C34XL, C38XL}
+}
+
+// Figure3Types are the four instance types whose spot-price PDFs the
+// paper fits in Fig. 3. The paper labels only (d) as m1.xlarge; the
+// reproduction assigns the remaining panels to the m3 family, which
+// matches the fitted on-demand price scales.
+func Figure3Types() []Type {
+	return []Type{M3XLarge, M32XL, R3XLarge, M1XLarge}
+}

@@ -1,0 +1,102 @@
+package instances
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestLookupKnownTypes(t *testing.T) {
+	s, err := Lookup(R3XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VCPU != 4 || s.MemGiB != 30.5 || s.SSD != "1x80" {
+		t.Errorf("r3.xlarge spec = %+v", s)
+	}
+	if s.OnDemand != 0.350 {
+		t.Errorf("r3.xlarge on-demand = %v", s.OnDemand)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("t2.micro"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of unknown type did not panic")
+		}
+	}()
+	MustLookup("bogus")
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("catalog has %d types, want 17", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Type < all[j].Type }) {
+		t.Error("All() not sorted")
+	}
+	for _, s := range all {
+		if s.OnDemand <= 0 {
+			t.Errorf("%s: non-positive on-demand price", s.Type)
+		}
+		if s.VCPU <= 0 || s.MemGiB <= 0 {
+			t.Errorf("%s: bad size %+v", s.Type, s)
+		}
+	}
+}
+
+func TestTable2Sizes(t *testing.T) {
+	// Spot checks against the paper's Table 2.
+	cases := []struct {
+		typ  Type
+		vcpu int
+		mem  float64
+	}{
+		{M3XLarge, 4, 15},
+		{M32XL, 8, 30},
+		{R32XL, 8, 61},
+		{R34XL, 16, 122},
+		{C34XL, 16, 30},
+		{C38XL, 32, 60},
+	}
+	for _, c := range cases {
+		s := MustLookup(c.typ)
+		if s.VCPU != c.vcpu || s.MemGiB != c.mem {
+			t.Errorf("%s: got (%d, %v), want (%d, %v)", c.typ, s.VCPU, s.MemGiB, c.vcpu, c.mem)
+		}
+	}
+}
+
+func TestPriceScalesWithinFamilies(t *testing.T) {
+	// Doubling the size doubles the on-demand price (EC2's linear
+	// pricing within a family).
+	pairs := [][2]Type{{R3Large, R3XLarge}, {R3XLarge, R32XL}, {R32XL, R34XL}, {R34XL, R38XL},
+		{C3Large, C3XLarge}, {C3XLarge, C32XL}, {C32XL, C34XL}, {C34XL, C38XL},
+		{M3Medium, M3Large}, {M3Large, M3XLarge}, {M3XLarge, M32XL}}
+	for _, p := range pairs {
+		small, big := MustLookup(p[0]), MustLookup(p[1])
+		if big.OnDemand != 2*small.OnDemand {
+			t.Errorf("%s→%s: %v is not 2×%v", p[0], p[1], big.OnDemand, small.OnDemand)
+		}
+	}
+}
+
+func TestExperimentTypeSets(t *testing.T) {
+	if got := Table3Types(); len(got) != 5 {
+		t.Errorf("Table3Types = %v", got)
+	}
+	if got := Figure3Types(); len(got) != 4 {
+		t.Errorf("Figure3Types = %v", got)
+	}
+	for _, typ := range append(Table3Types(), Figure3Types()...) {
+		if _, err := Lookup(typ); err != nil {
+			t.Errorf("experiment type %s not in catalog", typ)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package job runs user jobs against the simulated cloud: it tracks a
+// job's progress across spot interruptions (checkpoint, recovery,
+// resume — §5's persistent-request semantics), detects one-time
+// request failures, and accounts completion time and cost exactly as
+// the paper measures them (completion = submission → finish,
+// including idle time; cost = the bill for every slot an instance
+// ran).
+//
+// A Tracker is a per-job state machine advanced once per region slot;
+// Run ticks a region until a single job completes. The MapReduce
+// engine composes multiple Trackers over a shared region.
+package job
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+)
+
+// Spec describes the job to run.
+type Spec struct {
+	// ID names the job (checkpoint key). Required.
+	ID string
+	// Type is the instance type to run on.
+	Type instances.Type
+	// Exec is t_s, the execution time without interruptions.
+	Exec timeslot.Hours
+	// Recovery is t_r, the extra running time consumed after each
+	// interruption before useful work resumes.
+	Recovery timeslot.Hours
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.ID == "" {
+		return errors.New("job: empty job ID")
+	}
+	if !(s.Exec > 0) {
+		return fmt.Errorf("job: execution time %v must be positive", float64(s.Exec))
+	}
+	if s.Recovery < 0 {
+		return fmt.Errorf("job: negative recovery time %v", float64(s.Recovery))
+	}
+	return nil
+}
+
+// Status is a job's lifecycle state.
+type Status int
+
+const (
+	// Pending: submitted, waiting for the first launch.
+	Pending Status = iota
+	// Running: making progress this slot.
+	Running
+	// Idle: interrupted or out-bid, waiting for the price to drop.
+	Idle
+	// Done: all work finished.
+	Done
+	// Failed: a one-time request was out-bid before finishing.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Idle:
+		return "idle"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Outcome summarizes a finished (or failed) job.
+type Outcome struct {
+	// Completed reports whether the job finished all its work.
+	Completed bool
+	// Completion is the wall-clock time from submission to finish
+	// (or failure), idle time included — the paper's T.
+	Completion timeslot.Hours
+	// RunTime is the time spent on a running instance (execution +
+	// recovery) — the paper's T·F(p), the billed time.
+	RunTime timeslot.Hours
+	// IdleTime is the time spent waiting for the spot price to drop.
+	IdleTime timeslot.Hours
+	// RecoveryTime is the running time consumed by recoveries.
+	RecoveryTime timeslot.Hours
+	// Interruptions counts provider terminations.
+	Interruptions int
+	// Cost is the total bill in USD.
+	Cost float64
+	// PricePerRunHour is Cost divided by the billed running time —
+	// the "price charged per hour" of Fig. 6(a).
+	PricePerRunHour float64
+}
+
+// Tracker advances one job against a region. Create it with
+// NewSpotJob or NewOnDemandJob, then call Observe exactly once after
+// every region Tick.
+type Tracker struct {
+	region *cloud.Region
+	volume *checkpoint.Volume
+	spec   Spec
+
+	req      *cloud.SpotRequest // nil for on-demand
+	onDemand *cloud.Instance    // nil for spot
+
+	submitted   int
+	finished    int
+	remaining   timeslot.Hours
+	pendingRec  timeslot.Hours
+	needRestore bool
+	started     bool
+	status      Status
+
+	runSlots, idleSlots int
+	recovery            timeslot.Hours
+}
+
+// NewSpotJob submits a spot request for the job at the given bid.
+func NewSpotJob(region *cloud.Region, volume *checkpoint.Volume, spec Spec, bid float64, kind cloud.RequestKind) (*Tracker, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if volume == nil {
+		volume = checkpoint.NewVolume()
+	}
+	reqs, err := region.RequestSpotInstances(spec.Type, bid, kind, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		region:    region,
+		volume:    volume,
+		spec:      spec,
+		req:       reqs[0],
+		submitted: region.Now(),
+		remaining: spec.Exec,
+		status:    Pending,
+	}, nil
+}
+
+// NewOnDemandJob launches the job on an on-demand instance.
+func NewOnDemandJob(region *cloud.Region, spec Spec) (*Tracker, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	inst, err := region.LaunchOnDemand(spec.Type)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		region:    region,
+		volume:    checkpoint.NewVolume(), // on-demand never checkpoints; keep Observe uniform
+		spec:      spec,
+		onDemand:  inst,
+		submitted: region.Now(),
+		remaining: spec.Exec,
+		status:    Pending,
+	}, nil
+}
+
+// Status reports the job's current state.
+func (t *Tracker) Status() Status { return t.status }
+
+// Spec returns the job's spec.
+func (t *Tracker) Spec() Spec { return t.spec }
+
+// Request returns the job's spot request (nil for on-demand jobs).
+func (t *Tracker) Request() *cloud.SpotRequest { return t.req }
+
+// Done reports whether the job has finished or failed.
+func (t *Tracker) Done() bool { return t.status == Done || t.status == Failed }
+
+// Remaining reports the execution time still owed (0 once done). The
+// on-demand fallback strategy uses it to size the replacement job
+// after a one-time request fails.
+func (t *Tracker) Remaining() timeslot.Hours { return t.remaining }
+
+// Observe processes the slot that the region just ticked into. It
+// must be called exactly once per Tick while the job is live.
+func (t *Tracker) Observe() error {
+	if t.Done() {
+		return nil
+	}
+	slotHours := timeslot.Hours(float64(t.region.Grid().Slot))
+
+	runningNow := false
+	if t.onDemand != nil {
+		runningNow = t.onDemand.Running
+	} else {
+		runningNow = t.req.State == cloud.Active
+	}
+
+	if !runningNow {
+		// Pending or interrupted: detect a fresh interruption.
+		if t.status == Running {
+			// The provider killed the instance this slot: save state.
+			if err := t.volume.Save(t.spec.ID, t.region.Now(), t.remaining); err != nil {
+				return err
+			}
+			t.needRestore = true
+			if t.req != nil && t.req.Kind == cloud.OneTime {
+				t.status = Failed
+				t.finished = t.region.Now()
+				return nil
+			}
+		}
+		t.status = Idle
+		if !t.started {
+			t.status = Pending
+		}
+		t.idleSlots++
+		return nil
+	}
+
+	// Running this slot.
+	if t.needRestore {
+		// Resuming after an interruption: restore and pay t_r.
+		if _, ok := t.volume.Restore(t.spec.ID); ok {
+			t.pendingRec += t.spec.Recovery
+			t.recovery += t.spec.Recovery
+		}
+		t.needRestore = false
+	}
+	t.started = true
+	t.status = Running
+	t.runSlots++
+
+	avail := slotHours
+	if t.pendingRec > 0 {
+		use := t.pendingRec
+		if use > avail {
+			use = avail
+		}
+		t.pendingRec -= use
+		avail -= use
+	}
+	t.remaining -= avail
+	// Tolerate float residue from repeated slot subtraction: work
+	// within a picosecond of done is done.
+	if float64(t.remaining) <= 1e-12 {
+		t.remaining = 0
+		t.status = Done
+		t.finished = t.region.Now()
+		t.volume.Delete(t.spec.ID)
+		// Release the resources.
+		if t.onDemand != nil {
+			return t.region.TerminateInstance(t.onDemand.ID)
+		}
+		return t.region.CancelSpotRequest(t.req.ID)
+	}
+	return nil
+}
+
+// Outcome summarizes the job. Valid once Done() is true; calling it
+// earlier reports progress so far.
+func (t *Tracker) Outcome() Outcome {
+	slotHours := float64(t.region.Grid().Slot)
+	end := t.finished
+	if !t.Done() {
+		end = t.region.Now()
+	}
+	var cost float64
+	var interruptions int
+	if t.onDemand != nil {
+		cost = t.onDemand.Cost
+	} else {
+		interruptions = t.req.Interruptions
+		// Sum every instance this request ever launched.
+		for _, ev := range t.region.Events() {
+			if ev.Kind == cloud.EvLaunch && ev.RequestID == t.req.ID {
+				if inst, err := t.region.Instance(ev.InstanceID); err == nil {
+					cost += inst.Cost
+				}
+			}
+		}
+	}
+	run := float64(t.runSlots) * slotHours
+	out := Outcome{
+		Completed:     t.status == Done,
+		Completion:    timeslot.Hours(float64(end-t.submitted) * slotHours),
+		RunTime:       timeslot.Hours(run),
+		IdleTime:      timeslot.Hours(float64(t.idleSlots) * slotHours),
+		RecoveryTime:  t.recovery,
+		Interruptions: interruptions,
+		Cost:          cost,
+	}
+	if run > 0 {
+		out.PricePerRunHour = cost / run
+	}
+	return out
+}
+
+// Run ticks the region until the single job finishes, fails, or the
+// trace ends. It returns the job's outcome; ErrEndOfTrace is not an
+// error here — the outcome simply reports Completed == false.
+func Run(region *cloud.Region, t *Tracker) (Outcome, error) {
+	for !t.Done() {
+		if err := region.Tick(); err != nil {
+			if errors.Is(err, cloud.ErrEndOfTrace) {
+				return t.Outcome(), nil
+			}
+			return Outcome{}, err
+		}
+		if err := t.Observe(); err != nil {
+			return Outcome{}, err
+		}
+	}
+	return t.Outcome(), nil
+}

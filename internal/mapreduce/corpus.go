@@ -1,0 +1,86 @@
+// Package mapreduce implements the master/slave MapReduce framework
+// of the paper's §6–§7.2 experiments on top of the simulated cloud: a
+// master node assigns map tasks over input shards to slave nodes,
+// reschedules work around spot interruptions, and reduces the results
+// — the synthetic stand-in for the paper's Hadoop-on-EMR word count
+// over the Common Crawl corpus (see DESIGN.md).
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vocabulary is the word pool for synthetic documents. Drawing ranks
+// from a Zipf distribution over it reproduces the skewed word
+// frequencies of real web text, so word-count outputs have the same
+// hot-key structure a crawl corpus produces.
+var vocabulary = []string{
+	"the", "of", "and", "to", "a", "in", "is", "it", "you", "that",
+	"he", "was", "for", "on", "are", "with", "as", "his", "they", "be",
+	"at", "one", "have", "this", "from", "or", "had", "by", "hot", "word",
+	"but", "what", "some", "we", "can", "out", "other", "were", "all", "there",
+	"when", "up", "use", "your", "how", "said", "an", "each", "she", "which",
+	"do", "their", "time", "if", "will", "way", "about", "many", "then", "them",
+	"write", "would", "like", "so", "these", "her", "long", "make", "thing", "see",
+	"him", "two", "has", "look", "more", "day", "could", "go", "come", "did",
+	"cloud", "spot", "price", "bid", "instance", "node", "master", "slave", "job", "task",
+}
+
+// Corpus is a set of documents to process.
+type Corpus struct {
+	// Docs holds one document per entry.
+	Docs []string
+	// Words is the total word count across documents.
+	Words int
+}
+
+// GenerateCorpus builds a deterministic synthetic corpus of nDocs
+// documents with wordsPerDoc words each, drawn Zipf-style from the
+// package vocabulary.
+func GenerateCorpus(nDocs, wordsPerDoc int, seed int64) (*Corpus, error) {
+	if nDocs < 1 || wordsPerDoc < 1 {
+		return nil, fmt.Errorf("mapreduce: corpus needs positive sizes, got %d docs × %d words", nDocs, wordsPerDoc)
+	}
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, 1.3, 1, uint64(len(vocabulary)-1))
+	var b strings.Builder
+	docs := make([]string, nDocs)
+	for i := range docs {
+		b.Reset()
+		for w := 0; w < wordsPerDoc; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocabulary[zipf.Uint64()])
+		}
+		docs[i] = b.String()
+	}
+	return &Corpus{Docs: docs, Words: nDocs * wordsPerDoc}, nil
+}
+
+// Shard splits the corpus into n near-equal shards of whole documents
+// — the remainder is spread one document at a time so no shard
+// straggles (the paper's sub-jobs are "of equal size", §6.1). Each
+// shard becomes one map task.
+func (c *Corpus) Shard(n int) ([][]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mapreduce: shard count %d must be positive", n)
+	}
+	if n > len(c.Docs) {
+		n = len(c.Docs)
+	}
+	per, rem := len(c.Docs)/n, len(c.Docs)%n
+	shards := make([][]string, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		shards[i] = c.Docs[lo : lo+size]
+		lo += size
+	}
+	return shards, nil
+}

@@ -1,0 +1,349 @@
+package mapreduce
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+func TestGenerateCorpus(t *testing.T) {
+	c, err := GenerateCorpus(10, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 10 || c.Words != 500 {
+		t.Fatalf("corpus shape %d docs, %d words", len(c.Docs), c.Words)
+	}
+	// Deterministic by seed.
+	c2, _ := GenerateCorpus(10, 50, 1)
+	if !reflect.DeepEqual(c.Docs, c2.Docs) {
+		t.Error("same seed gave different corpora")
+	}
+	c3, _ := GenerateCorpus(10, 50, 2)
+	if reflect.DeepEqual(c.Docs, c3.Docs) {
+		t.Error("different seeds gave identical corpora")
+	}
+	if _, err := GenerateCorpus(0, 5, 1); err == nil {
+		t.Error("0 docs accepted")
+	}
+	if _, err := GenerateCorpus(5, 0, 1); err == nil {
+		t.Error("0 words accepted")
+	}
+}
+
+func TestCorpusZipfSkew(t *testing.T) {
+	c, _ := GenerateCorpus(50, 200, 3)
+	counts := CountWords(c.Docs)
+	top := TopWords(counts, 1)
+	// The hottest word should dominate: Zipf exponent 1.3.
+	if counts[top[0]] < c.Words/10 {
+		t.Errorf("top word %q appears %d of %d times — not skewed", top[0], counts[top[0]], c.Words)
+	}
+}
+
+func TestShard(t *testing.T) {
+	c, _ := GenerateCorpus(10, 5, 1)
+	shards, err := c.Shard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	var total int
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Errorf("shards lost documents: %d", total)
+	}
+	// More shards than docs clamps.
+	shards, _ = c.Shard(100)
+	if len(shards) != 10 {
+		t.Errorf("clamped shards = %d", len(shards))
+	}
+	if _, err := c.Shard(0); err == nil {
+		t.Error("0 shards accepted")
+	}
+}
+
+func TestWordCountMapperReducer(t *testing.T) {
+	var got []string
+	WordCount{}.Map("a b a", func(k string, v int) {
+		got = append(got, k)
+		if v != 1 {
+			t.Errorf("emit value %d", v)
+		}
+	})
+	if len(got) != 3 {
+		t.Errorf("emitted %v", got)
+	}
+	if (WordCount{}).Reduce("a", []int{1, 1, 1}) != 3 {
+		t.Error("reduce sum wrong")
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	counts := map[string]int{"b": 3, "a": 3, "c": 1}
+	top := TopWords(counts, 2)
+	if !reflect.DeepEqual(top, []string{"a", "b"}) { // tie → lexicographic
+		t.Errorf("top = %v", top)
+	}
+	if got := TopWords(counts, 10); len(got) != 3 {
+		t.Errorf("overlong top = %v", got)
+	}
+}
+
+// mrRegion builds a region with identical flat-priced markets for the
+// master (r3.xlarge) and slave (c3.4xlarge) types.
+func mrRegion(t *testing.T, masterPrices, slavePrices []float64) *cloud.Region {
+	t.Helper()
+	grid := timeslot.NewGrid(timeslot.DefaultSlot)
+	mt, err := trace.New(instances.R3XLarge, grid, masterPrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.New(instances.C34XL, grid, slavePrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(mt, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func flat(n int, p float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// baseConfig: 4 workers, 30s recovery, 60s overhead (the §7.2
+// parameters), throughput chosen so the corpus is ~2 instance-hours.
+func baseConfig() Config {
+	return Config{
+		Master:       NodeSpec{Type: instances.R3XLarge, Bid: 0.05, Kind: cloud.OneTime},
+		Slave:        NodeSpec{Type: instances.C34XL, Bid: 0.09, Kind: cloud.Persistent},
+		Workers:      4,
+		Recovery:     timeslot.Seconds(30),
+		Overhead:     timeslot.Seconds(60),
+		WordsPerHour: 5000,
+	}
+}
+
+func TestRunCompletesAndCountsExactly(t *testing.T) {
+	corpus, _ := GenerateCorpus(40, 250, 7) // 10000 words ⇒ 2h of work
+	r := mrRegion(t, flat(200, 0.03), flat(200, 0.072))
+	res, err := Run(r, corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("job did not complete")
+	}
+	// Functional correctness: distributed output equals the oracle.
+	want := CountWords(corpus.Docs)
+	if !reflect.DeepEqual(res.Counts, want) {
+		t.Error("distributed word count differs from sequential oracle")
+	}
+	// No interruptions on a flat cheap trace.
+	if res.Interruptions != 0 || res.Reassignments != 0 {
+		t.Errorf("interruptions %d, reassignments %d", res.Interruptions, res.Reassignments)
+	}
+	// Wall clock ≈ (2h work + 60s overhead)/4 workers, slot-rounded,
+	// + 1 launch slot.
+	wantHours := (2.0 + 1.0/60.0) / 4
+	if got := float64(res.Completion); got < wantHours || got > wantHours+0.25 {
+		t.Errorf("completion = %v, want ≈ %v", got, wantHours)
+	}
+	if res.TotalCost != res.MasterCost+res.SlaveCost {
+		t.Error("cost split inconsistent")
+	}
+	if res.SlaveCost <= 0 || res.MasterCost <= 0 {
+		t.Error("costs must be positive")
+	}
+}
+
+func TestRunSurvivesSlaveInterruptions(t *testing.T) {
+	corpus, _ := GenerateCorpus(40, 250, 7)
+	// Slave price spikes above the 0.09 bid periodically.
+	slavePrices := make([]float64, 300)
+	for i := range slavePrices {
+		if i%7 == 3 {
+			slavePrices[i] = 0.2
+		} else {
+			slavePrices[i] = 0.072
+		}
+	}
+	r := mrRegion(t, flat(300, 0.03), slavePrices)
+	res, err := Run(r, corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("job did not survive interruptions")
+	}
+	if res.Interruptions == 0 {
+		t.Error("expected interruptions on the spiky trace")
+	}
+	// Output is still exactly right — rescheduling must not lose or
+	// double-count work.
+	want := CountWords(corpus.Docs)
+	if !reflect.DeepEqual(res.Counts, want) {
+		t.Error("interrupted run corrupted the word count")
+	}
+	// And it takes longer than the uninterrupted run.
+	calm, err := Run(mrRegion(t, flat(300, 0.03), flat(300, 0.072)), corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion <= calm.Completion {
+		t.Errorf("interrupted completion %v not above calm %v",
+			float64(res.Completion), float64(calm.Completion))
+	}
+}
+
+func TestRunMasterOutbidFailsJob(t *testing.T) {
+	corpus, _ := GenerateCorpus(40, 250, 7)
+	masterPrices := flat(100, 0.03)
+	masterPrices[5] = 0.2 // above the one-time master bid
+	r := mrRegion(t, masterPrices, flat(100, 0.072))
+	res, err := Run(r, corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("job should have failed with the master")
+	}
+	if !res.MasterOutbid {
+		t.Error("MasterOutbid not reported")
+	}
+}
+
+func TestRunOnDemand(t *testing.T) {
+	corpus, _ := GenerateCorpus(40, 250, 7)
+	cfg := baseConfig()
+	cfg.Master = NodeSpec{Type: instances.R3XLarge, OnDemand: true}
+	cfg.Slave = NodeSpec{Type: instances.C34XL, OnDemand: true}
+	r := mrRegion(t, flat(200, 0.03), flat(200, 0.072))
+	res, err := Run(r, corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Interruptions != 0 {
+		t.Fatal("on-demand run must complete uninterrupted")
+	}
+	// On-demand cost exceeds the spot cost for the same work.
+	spot, err := Run(mrRegion(t, flat(200, 0.03), flat(200, 0.072)), corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= spot.TotalCost {
+		t.Errorf("on-demand cost %v not above spot %v", res.TotalCost, spot.TotalCost)
+	}
+	// ... by roughly the on-demand/spot price ratio (≈ 90% savings).
+	if save := 1 - spot.TotalCost/res.TotalCost; save < 0.85 {
+		t.Errorf("savings = %v", save)
+	}
+}
+
+func TestRunMoreWorkersFinishFaster(t *testing.T) {
+	corpus, _ := GenerateCorpus(48, 250, 7)
+	cfg2 := baseConfig()
+	cfg2.Workers = 2
+	cfg8 := baseConfig()
+	cfg8.Workers = 8
+	r2, err := Run(mrRegion(t, flat(400, 0.03), flat(400, 0.072)), corpus, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(mrRegion(t, flat(400, 0.03), flat(400, 0.072)), corpus, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Completion >= r2.Completion {
+		t.Errorf("8 workers (%v) not faster than 2 (%v)",
+			float64(r8.Completion), float64(r2.Completion))
+	}
+}
+
+func TestRunTraceExhaustion(t *testing.T) {
+	corpus, _ := GenerateCorpus(40, 250, 7)
+	r := mrRegion(t, flat(3, 0.03), flat(3, 0.072)) // far too short
+	res, err := Run(r, corpus, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("cannot complete on a 3-slot trace")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	corpus, _ := GenerateCorpus(4, 10, 1)
+	r := mrRegion(t, flat(5, 0.03), flat(5, 0.072))
+	bad := baseConfig()
+	bad.Workers = 0
+	if _, err := Run(r, corpus, bad); err == nil {
+		t.Error("0 workers accepted")
+	}
+	bad = baseConfig()
+	bad.WordsPerHour = 0
+	if _, err := Run(r, corpus, bad); err == nil {
+		t.Error("0 throughput accepted")
+	}
+	bad = baseConfig()
+	bad.Recovery = -1
+	if _, err := Run(r, corpus, bad); err == nil {
+		t.Error("negative recovery accepted")
+	}
+	if _, err := Run(r, nil, baseConfig()); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	bad = baseConfig()
+	bad.Slave.Type = "bogus"
+	if _, err := Run(r, corpus, bad); err == nil {
+		t.Error("unknown slave type accepted")
+	}
+}
+
+func TestWordCountHelper(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"a", 1}, {"a b", 2}, {"  a  b  ", 2}, {"a\tb\nc", 3},
+	}
+	for _, c := range cases {
+		if got := wordCount(c.in); got != c.want {
+			t.Errorf("wordCount(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompletionTimeMatchesEq18Roughly(t *testing.T) {
+	// On a flat trace with no interruptions, completion ≈
+	// (t_s + t_o)/M (Eq. 18 with F = 1), up to slot rounding and the
+	// launch slot.
+	corpus, _ := GenerateCorpus(60, 200, 9) // 12000 words = 2.4h
+	cfg := baseConfig()
+	cfg.Workers = 6
+	r, err := Run(mrRegion(t, flat(400, 0.03), flat(400, 0.072)), corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := 12000.0 / cfg.WordsPerHour
+	want := (ts + float64(cfg.Overhead)) / 6
+	if got := float64(r.Completion); math.Abs(got-want) > 0.2 {
+		t.Errorf("completion %v vs Eq.18 %v", got, want)
+	}
+}

@@ -1,0 +1,109 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestBidObjectiveReducesToUniformCase(t *testing.T) {
+	// With uniform bids on [π̲, π̄], the general objective equals
+	// Eq. 1 and the numeric optimum matches the closed form.
+	p := r3xProvider()
+	u, err := dist.NewUniform(p.PMin, p.POnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []float64{1, 5, 50} {
+		for _, price := range []float64{0.05, 0.1, 0.15} {
+			a := p.Objective(load, price)
+			b := p.BidObjective(load, price, u)
+			if math.Abs(a-b) > 1e-9 {
+				t.Errorf("load %v price %v: %v vs %v", load, price, a, b)
+			}
+		}
+		closed := p.OptimalPrice(load)
+		numeric, err := p.OptimalPriceForBids(load, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-numeric) > 1e-4 {
+			t.Errorf("load %v: closed %v vs general numeric %v", load, closed, numeric)
+		}
+	}
+}
+
+func TestAcceptedFromBids(t *testing.T) {
+	p := r3xProvider()
+	u, _ := dist.NewUniform(0.1, 0.2)
+	if got := p.AcceptedFromBids(100, 0.05, u); got != 100 {
+		t.Errorf("below all bids: %v", got)
+	}
+	if got := p.AcceptedFromBids(100, 0.25, u); got != 0 {
+		t.Errorf("above all bids: %v", got)
+	}
+	if got := p.AcceptedFromBids(100, 0.15, u); math.Abs(got-50) > 1e-9 {
+		t.Errorf("mid: %v", got)
+	}
+	if got := p.AcceptedFromBids(0, 0.15, u); got != 0 {
+		t.Errorf("no load: %v", got)
+	}
+}
+
+func TestOptimalPriceForBidsMassPoint(t *testing.T) {
+	// §8's scenario: every user optimizes and bids the same p*. The
+	// provider's best response is to price *at* the mass point —
+	// pricing above it loses everyone, pricing below leaves money on
+	// the table.
+	p := r3xProvider()
+	pStar := 0.0335
+	mass, err := dist.NewUniform(pStar-1e-6, pStar+1e-6) // a sliver ≈ point mass
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.OptimalPriceForBids(50, mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-pStar) > 1e-3 {
+		t.Errorf("best response %v, want ≈ the mass point %v", got, pStar)
+	}
+}
+
+func TestOptimalPriceForBidsMixture(t *testing.T) {
+	// Part uniform crowd, part optimizing mass: the optimum stays in
+	// [π̲, π̄] and beats a probe grid.
+	p := r3xProvider()
+	u, _ := dist.NewUniform(p.PMin, p.POnDemand)
+	mass, _ := dist.NewUniform(0.0335-1e-6, 0.0335+1e-6)
+	mix, err := dist.NewMixture([]dist.Dist{u, mass}, []float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.OptimalPriceForBids(50, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < p.PMin || got > p.POnDemand {
+		t.Fatalf("price %v out of range", got)
+	}
+	best := p.BidObjective(50, got, mix)
+	for _, x := range dist.Linspace(p.PMin, p.POnDemand, 400) {
+		if p.BidObjective(50, x, mix) > best+1e-6 {
+			t.Fatalf("probe %v beats claimed optimum %v", x, got)
+		}
+	}
+}
+
+func TestOptimalPriceForBidsValidation(t *testing.T) {
+	p := r3xProvider()
+	if _, err := p.OptimalPriceForBids(10, nil); err == nil {
+		t.Error("nil bids accepted")
+	}
+	bad := Provider{}
+	u, _ := dist.NewUniform(0, 1)
+	if _, err := bad.OptimalPriceForBids(10, u); err == nil {
+		t.Error("invalid provider accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// EquilibriumPriceDist is the distribution of the equilibrium spot
+// price π = clamp(h(Λ)) induced by an i.i.d. arrival process Λ
+// (Prop. 2 + Prop. 3). It implements dist.Dist exactly:
+//
+//   - CDF(x) = F_Λ(h⁻¹(x)) — h is increasing, so the push-forward CDF
+//     needs no Jacobian;
+//   - PDF(x) = f_Λ(h⁻¹(x))·|dh⁻¹/dx| = f_Λ(h⁻¹(x))·2θβ/(π̄−2x)² —
+//     the exact change-of-variables density (the paper's Eq. 7 omits
+//     the Jacobian; see DESIGN.md);
+//   - when h(Λ_lo) < π̲ the price is clamped below and the
+//     distribution carries an atom of mass AtomMass() at π̲. The CDF
+//     and Quantile account for it; the PDF reports only the
+//     continuous part.
+type EquilibriumPriceDist struct {
+	prov    Provider
+	arrival dist.Dist
+	lo, hi  float64 // price support bounds
+}
+
+// NewEquilibriumPriceDist builds the equilibrium spot-price
+// distribution for the given provider and arrival distribution. The
+// arrival distribution must be supported on [0, ∞) (arrival volumes).
+func NewEquilibriumPriceDist(p Provider, arrival dist.Dist) (*EquilibriumPriceDist, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sup := arrival.Support()
+	if sup.Lo < 0 {
+		return nil, fmt.Errorf("market: arrival distribution support %v includes negative volumes", sup)
+	}
+	lo := p.H(sup.Lo)
+	hi := p.PriceCeil()
+	if !math.IsInf(sup.Hi, 1) {
+		hi = p.H(sup.Hi)
+	}
+	return &EquilibriumPriceDist{prov: p, arrival: arrival, lo: lo, hi: hi}, nil
+}
+
+// Provider returns the provider parameters the distribution was built
+// from.
+func (e *EquilibriumPriceDist) Provider() Provider { return e.prov }
+
+// Arrival returns the underlying arrival distribution.
+func (e *EquilibriumPriceDist) Arrival() dist.Dist { return e.arrival }
+
+// AtomMass reports the probability mass clamped onto π̲: the
+// probability that h(Λ) < π̲. Zero when the arrival support starts at
+// or above h⁻¹(π̲) (the paper's Pareto Λ_min is chosen to make it
+// exactly zero).
+func (e *EquilibriumPriceDist) AtomMass() float64 {
+	lam := e.prov.HInv(e.prov.PMin)
+	if math.IsInf(lam, 1) {
+		// π̲ ≥ π̄/2: every equilibrium price clamps to π̲.
+		return 1
+	}
+	return e.arrival.CDF(lam)
+}
+
+// PDF implements dist.Dist (continuous part only; see AtomMass).
+func (e *EquilibriumPriceDist) PDF(x float64) float64 {
+	if x <= e.lo || x >= e.hi {
+		return 0
+	}
+	lam := e.prov.HInv(x)
+	if math.IsInf(lam, 1) {
+		return 0
+	}
+	return e.arrival.PDF(lam) * e.prov.HInvDeriv(x)
+}
+
+// CDF implements dist.Dist.
+func (e *EquilibriumPriceDist) CDF(x float64) float64 {
+	if x < e.lo {
+		return 0
+	}
+	if x >= e.hi {
+		return 1
+	}
+	lam := e.prov.HInv(x)
+	if math.IsInf(lam, 1) {
+		return 1
+	}
+	return e.arrival.CDF(lam)
+}
+
+// Quantile implements dist.Dist: clamp(h(Quantile_Λ(q))).
+func (e *EquilibriumPriceDist) Quantile(q float64) float64 {
+	lam := e.arrival.Quantile(q)
+	if math.IsInf(lam, 1) {
+		return e.hi
+	}
+	return e.prov.H(lam)
+}
+
+// Sample implements dist.Dist.
+func (e *EquilibriumPriceDist) Sample(r *rand.Rand) float64 {
+	return e.prov.H(e.arrival.Sample(r))
+}
+
+// Mean implements dist.Dist by integrating in arrival space — this
+// sidesteps the atom at π̲ entirely: E[π] = ∫ clamp(h(λ)) dF_Λ(λ).
+func (e *EquilibriumPriceDist) Mean() float64 {
+	return e.expectation(func(pi float64) float64 { return pi })
+}
+
+// Var implements dist.Dist.
+func (e *EquilibriumPriceDist) Var() float64 {
+	m := e.Mean()
+	return e.expectation(func(pi float64) float64 { d := pi - m; return d * d })
+}
+
+// expectation computes E[g(π)] by quadrature in quantile space:
+// E[g(π)] = ∫₀¹ g(clamp(h(Q_Λ(u)))) du. Integrating over the uniform
+// quantile u instead of the arrival volume keeps the integrand smooth
+// and bounded even when the arrival density has near-singular spikes
+// (the steep plateau component of the calibrated mixture). Mixtures
+// are decomposed so each component uses its own — closed-form —
+// quantile function rather than the mixture's bisected one.
+func (e *EquilibriumPriceDist) expectation(g func(float64) float64) float64 {
+	var total float64
+	for _, cw := range decompose(e.arrival) {
+		q := cw.d.Quantile
+		const uMax = 1 - 1e-12
+		v := dist.Integrate(func(u float64) float64 {
+			return g(e.prov.H(q(u)))
+		}, 0, uMax, 1e-13) + (1-uMax)*g(e.hi)
+		total += cw.w * v
+	}
+	return total
+}
+
+// compWeight pairs a mixture component with its weight.
+type compWeight struct {
+	d dist.Dist
+	w float64
+}
+
+// decompose flattens a (possibly nested) mixture into weighted leaf
+// components; a non-mixture is its own single component.
+func decompose(d dist.Dist) []compWeight {
+	mix, ok := d.(*dist.Mixture)
+	if !ok {
+		return []compWeight{{d: d, w: 1}}
+	}
+	comps, weights := mix.Components()
+	var out []compWeight
+	for i, c := range comps {
+		for _, leaf := range decompose(c) {
+			out = append(out, compWeight{d: leaf.d, w: weights[i] * leaf.w})
+		}
+	}
+	return out
+}
+
+// Support implements dist.Dist.
+func (e *EquilibriumPriceDist) Support() dist.Interval {
+	return dist.Interval{Lo: e.lo, Hi: e.hi}
+}
+
+// PartialMean implements the optional exact path used by
+// dist.PartialMean: E[π·1{π ≤ p}]. Computing it in arrival space —
+// ∫_{λ: h(λ) ≤ p} clamp(h(λ))·f_Λ(λ) dλ — makes the point mass at π̲
+// (arrivals clamped up to the floor) exact, where naive quadrature of
+// the continuous density would miss it. This matters for the bidding
+// strategies: E[π | π ≤ π̲] must equal π̲, not 0.
+func (e *EquilibriumPriceDist) PartialMean(p float64) float64 {
+	if p < e.lo {
+		return 0
+	}
+	q := e.CDF(p) // P(π ≤ p) = F_Λ(h⁻¹(p)); h increasing
+	if q <= 0 {
+		return 0
+	}
+	// E[π·1{π ≤ p}] = ∫₀^q clamp(h(Q_Λ(u))) du in quantile space —
+	// this integrates straight across the clamped atom at π̲ (the
+	// quantile function is constant π̲ there), which pointwise
+	// density quadrature would miss entirely. Per mixture component:
+	// E[π·1{π≤p}] = Σ w_i ∫₀^{F_i(λ(p))} h(Q_i(u)) du, with each
+	// component's closed-form quantile.
+	lamHi := e.prov.HInv(p)
+	var val float64
+	for _, cw := range decompose(e.arrival) {
+		qi := cw.d.CDF(lamHi)
+		if math.IsInf(lamHi, 1) {
+			qi = 1
+		}
+		qCut := math.Min(qi, 1-1e-12)
+		quant := cw.d.Quantile
+		v := dist.Integrate(func(u float64) float64 {
+			return e.prov.H(quant(u))
+		}, 0, qCut, 1e-13)
+		if qi > qCut {
+			v += (qi - qCut) * e.hi
+		}
+		val += cw.w * v
+	}
+	return val
+}
+
+// ParetoArrivalMin returns the Λ_min that maps the bottom of the
+// Pareto arrival support exactly onto the minimum spot price:
+// Λ_min = h⁻¹(π̲) = θ·(β/(π̄−2π̲) − 1) (§4.3). Choosing this Λ_min
+// removes the atom at π̲, matching how the paper parameterizes its
+// Pareto fits.
+func (p Provider) ParetoArrivalMin() (float64, error) {
+	lam := p.HInv(p.PMin)
+	if math.IsInf(lam, 1) || lam <= 0 {
+		return 0, fmt.Errorf("market: no positive Pareto Λ_min exists for π̲ = %v (need π̲ < (π̄−β)/2)", p.PMin)
+	}
+	return lam, nil
+}

@@ -1,0 +1,264 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// paretoEq builds the canonical test fixture: the r3.xlarge-class
+// provider with a Pareto arrival process whose Λ_min maps exactly onto
+// the price floor (no atom).
+func paretoEq(t *testing.T, alpha float64) *EquilibriumPriceDist {
+	t.Helper()
+	p := r3xProvider()
+	lamMin, err := p.ParetoArrivalMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := dist.NewPareto(alpha, lamMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NewEquilibriumPriceDist(p, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eq
+}
+
+func TestEquilibriumSupport(t *testing.T) {
+	eq := paretoEq(t, 5)
+	sup := eq.Support()
+	p := eq.Provider()
+	if math.Abs(sup.Lo-p.PMin) > 1e-12 {
+		t.Errorf("support low = %v, want π̲", sup.Lo)
+	}
+	if math.Abs(sup.Hi-p.POnDemand/2) > 1e-12 {
+		t.Errorf("support high = %v, want π̄/2", sup.Hi)
+	}
+	if got := eq.AtomMass(); got != 0 {
+		t.Errorf("AtomMass = %v, want 0 (Λ_min maps to π̲)", got)
+	}
+}
+
+func TestEquilibriumCDFQuantileConsistency(t *testing.T) {
+	eq := paretoEq(t, 5)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := eq.Quantile(q)
+		if got := eq.CDF(x); math.Abs(got-q) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+	sup := eq.Support()
+	if eq.CDF(sup.Lo-1e-6) != 0 {
+		t.Error("CDF below support nonzero")
+	}
+	if eq.CDF(sup.Hi) != 1 {
+		t.Error("CDF at support top != 1")
+	}
+}
+
+func TestEquilibriumPDFIntegratesToCDF(t *testing.T) {
+	eq := paretoEq(t, 5)
+	sup := eq.Support()
+	for _, x := range []float64{0.04, 0.06, 0.1, 0.17} {
+		want := eq.CDF(x)
+		got := dist.Integrate(eq.PDF, sup.Lo, x, 1e-12)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("∫PDF to %v = %v, CDF = %v", x, got, want)
+		}
+	}
+}
+
+func TestEquilibriumPDFDecreasing(t *testing.T) {
+	// Prop. 5 requires a monotonically decreasing spot-price density;
+	// the fitted Pareto arrivals (α ≥ 5) must produce one.
+	eq := paretoEq(t, 5)
+	sup := eq.Support()
+	prev := math.Inf(1)
+	for _, x := range dist.Linspace(sup.Lo+1e-9, sup.Hi-1e-6, 200) {
+		v := eq.PDF(x)
+		if v > prev+1e-9 {
+			t.Fatalf("PDF increased at %v: %v > %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEquilibriumSampleMatchesCDF(t *testing.T) {
+	eq := paretoEq(t, 5)
+	r := rand.New(rand.NewSource(42))
+	n := 100000
+	xs := dist.SampleN(eq, r, n)
+	for _, x := range []float64{0.035, 0.05, 0.08, 0.15} {
+		var count int
+		for _, v := range xs {
+			if v <= x {
+				count++
+			}
+		}
+		emp := float64(count) / float64(n)
+		if diff := math.Abs(emp - eq.CDF(x)); diff > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v vs analytic %v", x, emp, eq.CDF(x))
+		}
+	}
+}
+
+func TestEquilibriumMeanVarViaMC(t *testing.T) {
+	eq := paretoEq(t, 5)
+	r := rand.New(rand.NewSource(9))
+	xs := dist.SampleN(eq, r, 300000)
+	m, v := dist.MeanVar(xs)
+	if rel := math.Abs(m-eq.Mean()) / eq.Mean(); rel > 0.01 {
+		t.Errorf("Mean() = %v, MC %v", eq.Mean(), m)
+	}
+	if rel := math.Abs(v-eq.Var()) / eq.Var(); rel > 0.15 {
+		t.Errorf("Var() = %v, MC %v", eq.Var(), v)
+	}
+}
+
+func TestEquilibriumAtom(t *testing.T) {
+	// Exponential arrivals from 0: h(0) < π̲ ⇒ positive atom at π̲.
+	p := r3xProvider()
+	exp, err := dist.NewExponential(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NewEquilibriumPriceDist(p, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := eq.AtomMass()
+	if atom <= 0 || atom >= 1 {
+		t.Fatalf("AtomMass = %v, want in (0,1)", atom)
+	}
+	// The CDF jumps to the atom mass at π̲.
+	if got := eq.CDF(p.PMin); math.Abs(got-atom) > 1e-12 {
+		t.Errorf("CDF(π̲) = %v, want atom %v", got, atom)
+	}
+	// Sampling respects the atom.
+	r := rand.New(rand.NewSource(3))
+	var hits int
+	n := 50000
+	for i := 0; i < n; i++ {
+		if eq.Sample(r) == p.PMin {
+			hits++
+		}
+	}
+	if emp := float64(hits) / float64(n); math.Abs(emp-atom) > 0.01 {
+		t.Errorf("empirical atom %v vs analytic %v", emp, atom)
+	}
+	// Mean integrates across the atom: MC check.
+	xs := dist.SampleN(eq, r, 200000)
+	m, _ := dist.MeanVar(xs)
+	if rel := math.Abs(m-eq.Mean()) / eq.Mean(); rel > 0.01 {
+		t.Errorf("Mean with atom = %v, MC %v", eq.Mean(), m)
+	}
+}
+
+func TestEquilibriumRejectsBadInputs(t *testing.T) {
+	p := r3xProvider()
+	neg, err := dist.NewUniform(-1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEquilibriumPriceDist(p, neg); err == nil {
+		t.Error("negative arrival support accepted")
+	}
+	bad := Provider{PMin: 1, POnDemand: 0.5, Beta: 1, Theta: 0.5}
+	u, _ := dist.NewUniform(0, 1)
+	if _, err := NewEquilibriumPriceDist(bad, u); err == nil {
+		t.Error("invalid provider accepted")
+	}
+}
+
+func TestEquilibriumBoundedArrivalSupport(t *testing.T) {
+	p := r3xProvider()
+	u, err := dist.NewUniform(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NewEquilibriumPriceDist(p, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := eq.Support()
+	if math.Abs(sup.Hi-p.H(0.5)) > 1e-12 {
+		t.Errorf("bounded support top = %v, want h(0.5) = %v", sup.Hi, p.H(0.5))
+	}
+	if eq.CDF(sup.Hi) != 1 {
+		t.Error("CDF at bounded top != 1")
+	}
+	if eq.Arrival() != dist.Dist(u) {
+		t.Error("Arrival() does not round-trip")
+	}
+}
+
+func TestEquilibriumPartialMeanDirect(t *testing.T) {
+	// PartialMean in price space equals the quadrature of x·f plus
+	// the atom mass at the floor.
+	p := r3xProvider()
+	exp, err := dist.NewExponential(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NewEquilibriumPriceDist(p, exp) // has an atom at π̲
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := eq.AtomMass()
+	for _, x := range []float64{0.05, 0.1, 0.17} {
+		cont := dist.Integrate(func(v float64) float64 { return v * eq.PDF(v) }, p.PMin, x, 1e-11)
+		want := cont + atom*p.PMin
+		if got := eq.PartialMean(x); math.Abs(got-want) > 1e-6 {
+			t.Errorf("PartialMean(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Below the support: zero. At the floor: the atom's mass × π̲.
+	if got := eq.PartialMean(p.PMin - 1e-6); got != 0 {
+		t.Errorf("PartialMean below floor = %v", got)
+	}
+	if got, want := eq.PartialMean(p.PMin), atom*p.PMin; math.Abs(got-want) > 1e-9 {
+		t.Errorf("PartialMean at floor = %v, want %v", got, want)
+	}
+	// At the ceiling: the full mean.
+	if got := eq.PartialMean(p.POnDemand); math.Abs(got-eq.Mean()) > 1e-6 {
+		t.Errorf("PartialMean at ceiling = %v, mean %v", got, eq.Mean())
+	}
+}
+
+func TestDecomposeNestedMixture(t *testing.T) {
+	a, _ := dist.NewPareto(3, 1)
+	b, _ := dist.NewPareto(5, 1)
+	c, _ := dist.NewExponential(2)
+	inner, err := dist.NewMixture([]dist.Dist{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := dist.NewMixture([]dist.Dist{inner, c}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := decompose(outer)
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	var total float64
+	for _, l := range leaves {
+		total += l.w
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("weights sum to %v", total)
+	}
+	// Leaf weights: 0.25, 0.25, 0.5.
+	if math.Abs(leaves[0].w-0.25) > 1e-12 || math.Abs(leaves[2].w-0.5) > 1e-12 {
+		t.Errorf("weights = %v, %v, %v", leaves[0].w, leaves[1].w, leaves[2].w)
+	}
+	// Non-mixture: itself.
+	if got := decompose(a); len(got) != 1 || got[0].w != 1 {
+		t.Errorf("decompose leaf = %+v", got)
+	}
+}

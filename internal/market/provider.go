@@ -1,0 +1,198 @@
+// Package market implements the paper's cloud-provider model (§4):
+// the per-slot spot-price optimization (Eq. 1–3), the persistent-bid
+// queue dynamics (Eq. 4, Fig. 2), Lyapunov stability (Prop. 1), the
+// equilibrium price map h(Λ) (Prop. 2, Eq. 6), and the induced
+// spot-price distribution (Prop. 3, Eq. 7).
+//
+// The provider sells one instance type per market. In every slot t it
+// receives L(t) outstanding bids whose prices are assumed uniform on
+// [π̲, π̄] and chooses the spot price π(t) maximizing
+//
+//	β·log(1 + N(t)) + π(t)·N(t),   N(t) = L(t)·(π̄−π(t))/(π̄−π̲),
+//
+// subject to π̲ ≤ π(t) ≤ π̄. The closed-form solution (Eq. 3) is a
+// root of the quadratic first-order condition (Eq. 2); both are
+// implemented and cross-checked in the tests against brute-force
+// maximization of the objective.
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Provider holds the parameters of the spot-price setting model for a
+// single instance type.
+type Provider struct {
+	// PMin is π̲, the provider's minimum spot price (its marginal
+	// cost of running a spot instance). Must satisfy 0 ≤ PMin < POnDemand.
+	PMin float64
+	// POnDemand is π̄, the on-demand price for the same instance
+	// type; the spot price never exceeds it.
+	POnDemand float64
+	// Beta is β, the weight of the capacity-utilization term
+	// β·log(1+N). Larger β lowers the spot price and accepts more
+	// bids. Must be positive.
+	Beta float64
+	// Theta is θ, the per-slot departure fraction: the share of
+	// running instances that finish (or one-time requests that exit)
+	// each slot. Must lie in (0, 1].
+	Theta float64
+}
+
+// Validate reports whether the provider parameters are usable.
+func (p Provider) Validate() error {
+	if !(p.PMin >= 0) || math.IsInf(p.PMin, 0) {
+		return fmt.Errorf("market: minimum price %v must be ≥ 0", p.PMin)
+	}
+	if !(p.POnDemand > p.PMin) || math.IsInf(p.POnDemand, 0) {
+		return fmt.Errorf("market: on-demand price %v must exceed minimum %v", p.POnDemand, p.PMin)
+	}
+	if !(p.PMin < p.POnDemand/2) {
+		// The paper's standing assumption β ≤ (L+1)(π̄−2π̲) (§4.1)
+		// needs π̲ < π̄/2; equilibrium prices live in [π̲, π̄/2).
+		return fmt.Errorf("market: minimum price %v must be below half the on-demand price %v", p.PMin, p.POnDemand)
+	}
+	if !(p.Beta > 0) || math.IsInf(p.Beta, 0) {
+		return fmt.Errorf("market: utilization weight β = %v must be positive", p.Beta)
+	}
+	if !(p.Theta > 0 && p.Theta <= 1) {
+		return fmt.Errorf("market: departure fraction θ = %v must be in (0, 1]", p.Theta)
+	}
+	return nil
+}
+
+// Accepted returns N = L·(π̄−π)/(π̄−π̲), the number of bids accepted
+// at spot price π out of L uniform bids (continuous relaxation,
+// paper fn. 3).
+func (p Provider) Accepted(load, price float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	frac := (p.POnDemand - price) / (p.POnDemand - p.PMin)
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return load * frac
+}
+
+// Objective evaluates the provider's per-slot objective
+// β·log(1+N) + π·N at spot price π with load L (Eq. 1).
+func (p Provider) Objective(load, price float64) float64 {
+	n := p.Accepted(load, price)
+	return p.Beta*math.Log(1+n) + price*n
+}
+
+// OptimalPrice returns π*(t), the closed-form maximizer of the
+// objective for load L (Eq. 3), clamped to [π̲, π̄]. The L → 0 limit
+// is h(0) = (π̄−β)/2 (continuity with the equilibrium map).
+func (p Provider) OptimalPrice(load float64) float64 {
+	if load <= 0 {
+		return p.clamp((p.POnDemand - p.Beta) / 2)
+	}
+	c := (p.POnDemand - p.PMin) / load
+	pi := p.POnDemand
+	disc := (pi+2*c)*(pi+2*c) + 8*p.Beta*c
+	x := 0.75*pi + 0.5*c - 0.25*math.Sqrt(disc)
+	return p.clamp(x)
+}
+
+func (p Provider) clamp(x float64) float64 {
+	if x < p.PMin {
+		return p.PMin
+	}
+	if x > p.POnDemand {
+		return p.POnDemand
+	}
+	return x
+}
+
+// NumericOptimalPrice maximizes the objective by golden-section search
+// over [π̲, π̄]. It exists to cross-check the closed form; production
+// code should use OptimalPrice.
+func (p Provider) NumericOptimalPrice(load float64) float64 {
+	neg := func(x float64) float64 { return -p.Objective(load, x) }
+	return dist.GoldenMin(neg, p.PMin, p.POnDemand, 1e-12)
+}
+
+// FOCResidual evaluates Eq. 2 rearranged to
+// L − (π̄−π̲)/(π̄−π)·(β/(π̄−2π) − 1); it vanishes at an interior
+// optimum. Exposed for the tests.
+func (p Provider) FOCResidual(load, price float64) float64 {
+	pi := p.POnDemand
+	return load - (pi-p.PMin)/(pi-price)*(p.Beta/(pi-2*price)-1)
+}
+
+// LoadForPrice inverts Eq. 2: the load L(t) at which price would be
+// the interior optimizer. Defined for π̲ ≤ price < π̄/2.
+func (p Provider) LoadForPrice(price float64) float64 {
+	pi := p.POnDemand
+	return (pi - p.PMin) / (pi - price) * (p.Beta/(pi-2*price) - 1)
+}
+
+// H is the equilibrium price map of Prop. 2 (Eq. 6):
+//
+//	π*(t) = h(Λ(t)) = ½·(π̄ − β/(1 + Λ(t)/θ)),
+//
+// the spot price at which the queue is in per-slot balance given
+// arrival volume Λ(t). It is increasing in Λ and approaches π̄/2 from
+// below; the result is clamped to [π̲, π̄].
+func (p Provider) H(lambda float64) float64 {
+	if lambda < 0 {
+		lambda = 0
+	}
+	return p.clamp(0.5 * (p.POnDemand - p.Beta/(1+lambda/p.Theta)))
+}
+
+// HInv inverts H (Eq. 7's h⁻¹): the arrival volume that makes price
+// the equilibrium spot price,
+//
+//	h⁻¹(π) = θ·(β/(π̄−2π) − 1).
+//
+// Defined for price < π̄/2; it returns +Inf at π̄/2 and above (no
+// finite arrival volume reaches them).
+func (p Provider) HInv(price float64) float64 {
+	den := p.POnDemand - 2*price
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return p.Theta * (p.Beta/den - 1)
+}
+
+// HInvDeriv is d h⁻¹/dπ = 2θβ/(π̄−2π)², the Jacobian of the
+// change of variables in Prop. 3's exact push-forward density.
+func (p Provider) HInvDeriv(price float64) float64 {
+	den := p.POnDemand - 2*price
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * p.Theta * p.Beta / (den * den)
+}
+
+// PriceFloor returns max(π̲, h(0)) = max(π̲, (π̄−β)/2), the lowest
+// equilibrium spot price reachable under non-negative arrivals.
+func (p Provider) PriceFloor() float64 { return p.H(0) }
+
+// PriceCeil returns the supremum of equilibrium spot prices,
+// min(π̄/2, π̄) — the provider never finds it optimal to price at or
+// above half the on-demand price (FOC: π̄−2π = β/(1+N) > 0).
+func (p Provider) PriceCeil() float64 {
+	return math.Min(p.POnDemand/2, p.POnDemand)
+}
+
+// PaperSpotPDF evaluates the paper's literal Eq. 7 density
+// f_Λ(h⁻¹(π)) — *without* the change-of-variables Jacobian. Fig. 3's
+// fitted parameter values use this form; see DESIGN.md for the
+// discussion. The exact push-forward is EquilibriumPriceDist.
+func (p Provider) PaperSpotPDF(arrival dist.Dist, price float64) float64 {
+	lam := p.HInv(price)
+	if math.IsInf(lam, 1) {
+		return 0
+	}
+	return arrival.PDF(lam)
+}

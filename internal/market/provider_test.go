@@ -1,0 +1,260 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// r3xProvider mimics an r3.xlarge-class market: on-demand $0.35/h,
+// price floor $0.03, and the Fig. 3 (β, θ) = (0.6, 0.02) fit.
+func r3xProvider() Provider {
+	return Provider{PMin: 0.03, POnDemand: 0.35, Beta: 0.6, Theta: 0.02}
+}
+
+func TestProviderValidate(t *testing.T) {
+	if err := r3xProvider().Validate(); err != nil {
+		t.Fatalf("valid provider rejected: %v", err)
+	}
+	bad := []Provider{
+		{PMin: -1, POnDemand: 1, Beta: 1, Theta: 0.5},
+		{PMin: 0.2, POnDemand: 0.1, Beta: 1, Theta: 0.5},
+		{PMin: 0.2, POnDemand: 0.35, Beta: 1, Theta: 0.5}, // π̲ ≥ π̄/2
+		{PMin: 0.03, POnDemand: 0.35, Beta: 0, Theta: 0.5},
+		{PMin: 0.03, POnDemand: 0.35, Beta: 1, Theta: 0},
+		{PMin: 0.03, POnDemand: 0.35, Beta: 1, Theta: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad provider %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestAccepted(t *testing.T) {
+	p := r3xProvider()
+	// At the floor price everything is accepted.
+	if got := p.Accepted(100, p.PMin); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Accepted at π̲ = %v, want 100", got)
+	}
+	// At the on-demand price nothing is accepted.
+	if got := p.Accepted(100, p.POnDemand); got != 0 {
+		t.Errorf("Accepted at π̄ = %v, want 0", got)
+	}
+	// Linear in between: midpoint price accepts half.
+	mid := (p.PMin + p.POnDemand) / 2
+	if got := p.Accepted(100, mid); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Accepted at midpoint = %v, want 50", got)
+	}
+	if got := p.Accepted(0, mid); got != 0 {
+		t.Errorf("Accepted with no load = %v", got)
+	}
+	// Clamped outside [π̲, π̄].
+	if got := p.Accepted(100, p.POnDemand+1); got != 0 {
+		t.Errorf("Accepted above π̄ = %v", got)
+	}
+	if got := p.Accepted(100, 0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Accepted below π̲ = %v", got)
+	}
+}
+
+func TestOptimalPriceMatchesNumeric(t *testing.T) {
+	providers := []Provider{
+		r3xProvider(),
+		{PMin: 0.02, POnDemand: 0.28, Beta: 1.2, Theta: 0.02}, // Fig. 3(b)-like
+		{PMin: 0.1, POnDemand: 1.4, Beta: 0.3, Theta: 0.02},   // r3.4xlarge-like
+		{PMin: 0.15, POnDemand: 1.68, Beta: 0.3, Theta: 0.05},
+	}
+	for _, p := range providers {
+		for _, load := range []float64{0.01, 0.1, 1, 5, 20, 100, 1e4} {
+			closed := p.OptimalPrice(load)
+			numeric := p.NumericOptimalPrice(load)
+			if math.Abs(closed-numeric) > 1e-6 {
+				t.Errorf("%+v load %v: closed form %v vs numeric %v", p, load, closed, numeric)
+			}
+		}
+	}
+}
+
+func TestOptimalPriceFOC(t *testing.T) {
+	p := r3xProvider()
+	for _, load := range []float64{1, 5, 20, 100} {
+		price := p.OptimalPrice(load)
+		if price <= p.PMin || price >= p.POnDemand/2 {
+			continue // clamped; FOC not applicable
+		}
+		if res := p.FOCResidual(load, price); math.Abs(res) > 1e-6*math.Max(load, 1) {
+			t.Errorf("load %v: FOC residual %v at price %v", load, res, price)
+		}
+		// LoadForPrice inverts the FOC.
+		if back := p.LoadForPrice(price); math.Abs(back-load) > 1e-6*load {
+			t.Errorf("LoadForPrice(%v) = %v, want %v", price, back, load)
+		}
+	}
+}
+
+func TestOptimalPriceProperties(t *testing.T) {
+	p := r3xProvider()
+	// Below π̄/2 always, within [π̲, π̄], monotone increasing in load.
+	prev := 0.0
+	for i, load := range []float64{0.1, 0.5, 1, 2, 5, 10, 50, 200, 1000} {
+		price := p.OptimalPrice(load)
+		if price < p.PMin || price > p.POnDemand {
+			t.Fatalf("price %v outside [π̲, π̄]", price)
+		}
+		if price >= p.POnDemand/2 {
+			t.Fatalf("price %v at/above π̄/2", price)
+		}
+		if i > 0 && price < prev-1e-12 {
+			t.Fatalf("price decreased with load at %v", load)
+		}
+		prev = price
+	}
+	// Heavier utilization weight β ⇒ lower price (paper §4.1).
+	hi := p
+	hi.Beta = 2 * p.Beta
+	if hi.OptimalPrice(50) >= p.OptimalPrice(50) {
+		t.Error("raising β did not lower the spot price")
+	}
+	// Zero load limit is h(0).
+	if got, want := p.OptimalPrice(0), p.H(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("OptimalPrice(0) = %v, want h(0) = %v", got, want)
+	}
+}
+
+func TestObjectiveShape(t *testing.T) {
+	p := r3xProvider()
+	load := 50.0
+	best := p.OptimalPrice(load)
+	fBest := p.Objective(load, best)
+	for _, x := range dist.Linspace(p.PMin, p.POnDemand, 101) {
+		if p.Objective(load, x) > fBest+1e-9 {
+			t.Fatalf("objective at %v exceeds optimum", x)
+		}
+	}
+}
+
+func TestHAndHInvAreInverses(t *testing.T) {
+	p := r3xProvider()
+	for _, lam := range []float64{0.03, 0.1, 1, 10} {
+		price := p.H(lam)
+		if price <= p.PMin || price >= p.POnDemand/2 {
+			continue
+		}
+		if back := p.HInv(price); math.Abs(back-lam) > 1e-9*math.Max(lam, 1) {
+			t.Errorf("HInv(H(%v)) = %v", lam, back)
+		}
+	}
+	// h is increasing and approaches π̄/2.
+	if p.H(1) >= p.H(100) {
+		t.Error("H not increasing")
+	}
+	if p.H(1e12) > p.POnDemand/2 {
+		t.Error("H exceeded π̄/2")
+	}
+	// Negative volumes are treated as zero.
+	if p.H(-5) != p.H(0) {
+		t.Error("H(-5) != H(0)")
+	}
+	// HInv beyond π̄/2 is +Inf.
+	if !math.IsInf(p.HInv(p.POnDemand/2), 1) {
+		t.Error("HInv(π̄/2) should be +Inf")
+	}
+}
+
+func TestHInvDerivMatchesNumeric(t *testing.T) {
+	p := r3xProvider()
+	for _, price := range []float64{0.05, 0.1, 0.15} {
+		eps := 1e-7
+		num := (p.HInv(price+eps) - p.HInv(price-eps)) / (2 * eps)
+		if got := p.HInvDeriv(price); math.Abs(got-num)/num > 1e-5 {
+			t.Errorf("HInvDeriv(%v) = %v, numeric %v", price, got, num)
+		}
+	}
+	if !math.IsInf(p.HInvDeriv(p.POnDemand/2), 1) {
+		t.Error("HInvDeriv at π̄/2 should be +Inf")
+	}
+}
+
+func TestPriceFloorCeil(t *testing.T) {
+	p := r3xProvider()
+	if got := p.PriceFloor(); got != p.PMin {
+		// h(0) = (0.35−0.6)/2 < 0 clamps to π̲.
+		t.Errorf("PriceFloor = %v, want π̲", got)
+	}
+	if got := p.PriceCeil(); math.Abs(got-p.POnDemand/2) > 1e-12 {
+		t.Errorf("PriceCeil = %v", got)
+	}
+	small := Provider{PMin: 0.001, POnDemand: 1, Beta: 0.1, Theta: 0.5}
+	if got, want := small.PriceFloor(), (1.0-0.1)/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PriceFloor = %v, want h(0) = %v", got, want)
+	}
+}
+
+func TestParetoArrivalMin(t *testing.T) {
+	p := r3xProvider()
+	lam, err := p.ParetoArrivalMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.H(lam); math.Abs(got-p.PMin) > 1e-12 {
+		t.Errorf("H(Λ_min) = %v, want π̲ = %v", got, p.PMin)
+	}
+	// Λ_min does not exist when π̲ ≥ (π̄−β)/2 maps below zero volume.
+	low := Provider{PMin: 0.001, POnDemand: 1, Beta: 0.1, Theta: 0.5}
+	if _, err := low.ParetoArrivalMin(); err == nil {
+		t.Error("expected error: h(0) already above π̲")
+	}
+}
+
+func TestPaperSpotPDF(t *testing.T) {
+	p := r3xProvider()
+	lamMin, err := p.ParetoArrivalMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := dist.NewPareto(5, lamMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper PDF is positive on (π̲, π̄/2), zero at/above π̄/2,
+	// and decreasing (heavier arrival volumes are rarer).
+	prev := math.Inf(1)
+	for _, price := range dist.Linspace(p.PMin+1e-6, p.POnDemand/2-1e-6, 50) {
+		v := p.PaperSpotPDF(par, price)
+		if v < 0 {
+			t.Fatalf("negative density at %v", price)
+		}
+		if v > prev+1e-12 {
+			t.Fatalf("paper PDF increased at %v", price)
+		}
+		prev = v
+	}
+	if got := p.PaperSpotPDF(par, p.POnDemand/2); got != 0 {
+		t.Errorf("paper PDF at π̄/2 = %v", got)
+	}
+}
+
+func TestOptimalPriceQuick(t *testing.T) {
+	p := r3xProvider()
+	f := func(rawLoad uint16) bool {
+		load := 0.01 + float64(rawLoad)/100.0
+		price := p.OptimalPrice(load)
+		if price < p.PMin || price > p.POnDemand {
+			return false
+		}
+		// No probe beats the claimed optimum.
+		fBest := p.Objective(load, price)
+		for _, x := range []float64{p.PMin, 0.05, 0.1, 0.17, p.POnDemand} {
+			if p.Objective(load, x) > fBest+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

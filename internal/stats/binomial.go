@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogChoose returns log C(n, k) via the log-gamma function, stable
+// for the thousands-of-slots horizons the deadline analysis needs.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// BinomialCDF returns P(X ≤ k) for X ~ Binomial(n, p), summing in
+// log space from the smaller tail for numerical robustness.
+//
+// The deadline-constrained bidding extension (§8 "risk-averseness")
+// uses it: a persistent job needs r running slots out of the D slots
+// before its deadline, each independently running with probability
+// F(p); missing the deadline is the lower binomial tail
+// P(X ≤ r − 1).
+func BinomialCDF(k, n int, p float64) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("stats: binomial n = %d negative", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: binomial p = %v outside [0,1]", p)
+	}
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= n {
+		return 1, nil
+	}
+	if p == 0 {
+		return 1, nil
+	}
+	if p == 1 {
+		return 0, nil // k < n
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	// Sum the smaller of the two tails directly.
+	if float64(k) <= float64(n)*p {
+		var sum float64
+		for i := 0; i <= k; i++ {
+			sum += math.Exp(LogChoose(n, i) + float64(i)*lp + float64(n-i)*lq)
+		}
+		return clamp01(sum), nil
+	}
+	var upper float64
+	for i := k + 1; i <= n; i++ {
+		upper += math.Exp(LogChoose(n, i) + float64(i)*lp + float64(n-i)*lq)
+	}
+	return clamp01(1 - upper), nil
+}
+
+// BinomialSurvival returns P(X ≥ k) = 1 − CDF(k−1).
+func BinomialSurvival(k, n int, p float64) (float64, error) {
+	c, err := BinomialCDF(k-1, n, p)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - c, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

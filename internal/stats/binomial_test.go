@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func TestBinomialCDFExact(t *testing.T) {
+	// Binomial(3, 0.5): CDF = 1/8, 4/8, 7/8, 1.
+	want := []float64{0.125, 0.5, 0.875, 1}
+	for k, w := range want {
+		got, err := BinomialCDF(k, 3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("CDF(%d; 3, .5) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomialCDFEdges(t *testing.T) {
+	if got, _ := BinomialCDF(-1, 10, 0.3); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if got, _ := BinomialCDF(10, 10, 0.3); got != 1 {
+		t.Errorf("CDF(n) = %v", got)
+	}
+	if got, _ := BinomialCDF(0, 10, 0); got != 1 {
+		t.Errorf("p=0 CDF(0) = %v", got)
+	}
+	if got, _ := BinomialCDF(9, 10, 1); got != 0 {
+		t.Errorf("p=1 CDF(n-1) = %v", got)
+	}
+	if _, err := BinomialCDF(1, -1, 0.5); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := BinomialCDF(1, 3, 1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+func TestBinomialCDFMatchesMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	n, p := 144, 0.9 // a 12-hour deadline of 5-minute slots
+	const trials = 200000
+	counts := make([]int, n+1)
+	for trial := 0; trial < trials; trial++ {
+		var s int
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				s++
+			}
+		}
+		counts[s]++
+	}
+	cum := 0
+	for _, k := range []int{120, 126, 130, 135} {
+		cum = 0
+		for i := 0; i <= k; i++ {
+			cum += counts[i]
+		}
+		mc := float64(cum) / trials
+		got, err := BinomialCDF(k, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-mc) > 0.01 {
+			t.Errorf("CDF(%d; %d, %v) = %v, MC %v", k, n, p, got, mc)
+		}
+	}
+}
+
+func TestBinomialSurvival(t *testing.T) {
+	s, err := BinomialSurvival(2, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(X ≥ 2) = 4/8.
+	if math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("survival = %v", s)
+	}
+	if s, _ := BinomialSurvival(0, 5, 0.1); s != 1 {
+		t.Errorf("P(X ≥ 0) = %v", s)
+	}
+}
+
+func TestBinomialCDFProperties(t *testing.T) {
+	f := func(rawN uint8, rawP uint16, rawK uint8) bool {
+		n := int(rawN)%200 + 1
+		p := float64(rawP) / 65536.0
+		k := int(rawK) % (n + 1)
+		c, err := BinomialCDF(k, n, p)
+		if err != nil {
+			return false
+		}
+		if c < 0 || c > 1 {
+			return false
+		}
+		// Monotone in k.
+		if k > 0 {
+			prev, _ := BinomialCDF(k-1, n, p)
+			if prev > c+1e-12 {
+				return false
+			}
+		}
+		// Complementarity with survival.
+		s, _ := BinomialSurvival(k+1, n, p)
+		return math.Abs(c+s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

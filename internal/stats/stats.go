@@ -1,0 +1,262 @@
+// Package stats provides the statistical machinery the reproduction
+// needs around spot-price traces: descriptive statistics, histogram
+// estimation, least-squares distribution fitting (the paper fits
+// Pareto and exponential arrival distributions to the empirical
+// spot-price PDF, Fig. 3), the two-sample Kolmogorov–Smirnov test
+// (used for the day/night stationarity check, §4.3), and sample
+// autocorrelation (the paper notes spot-price autocorrelation decays
+// quickly, §5/§8).
+//
+// Everything is hand-rolled on the standard library; the test suite
+// validates each estimator against closed forms and Monte-Carlo
+// oracles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs. It returns NaN
+// for fewer than two observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema of xs. It panics on an empty slice: every
+// call site operates on a trace that was already validated non-empty.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the q-th percentile (q ∈ [0,100]) of xs using
+// linear interpolation between order statistics. The "bid the 90th
+// percentile" baseline in §7.1 is Percentile(prices, 90).
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", q))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	h := (q / 100) * float64(len(s)-1)
+	i := int(h)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := h - float64(i)
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// MSE returns the mean squared error between two equal-length series.
+// The paper reports its Fig. 3 fits achieve MSE < 1e-6 between the
+// fitted and empirical PDFs.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: MSE length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// Autocorrelation returns the sample autocorrelation of xs at the
+// given lags. Lag 0 is 1 by construction. §8 of the paper discusses
+// the (weak) temporal correlation of real spot prices; the experiment
+// harness uses this to show the equilibrium model's prices are
+// i.i.d.-like.
+func Autocorrelation(xs []float64, lags []int) []float64 {
+	out := make([]float64, len(lags))
+	n := len(xs)
+	if n < 2 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	m := Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	for i, lag := range lags {
+		if lag < 0 || lag >= n || denom == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		var num float64
+		for t := 0; t+lag < n; t++ {
+			num += (xs[t] - m) * (xs[t+lag] - m)
+		}
+		out[i] = num / denom
+	}
+	return out
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi] with normalized
+// densities (∫ density = 1 when every observation falls in range).
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Densities []float64
+	N         int // total observations, including out-of-range
+}
+
+// NewHistogram bins xs into nbins equal-width bins over [lo, hi].
+// Observations outside [lo, hi] are counted in N but in no bin.
+func NewHistogram(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", nbins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v] is empty", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins), Densities: make([]float64, nbins), N: len(xs)}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		if x < lo || x > hi {
+			continue
+		}
+		i := int((x - lo) / width)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	if len(xs) > 0 {
+		for i, c := range h.Counts {
+			h.Densities[i] = float64(c) / (float64(len(xs)) * width)
+		}
+	}
+	return h, nil
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// Centers returns the midpoints of the bins, the abscissae against
+// which fitted PDFs are compared (Fig. 3).
+func (h *Histogram) Centers() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// empirical CDFs.
+	D float64
+	// P is the asymptotic p-value (Kolmogorov distribution with the
+	// usual effective-sample-size correction).
+	P float64
+	// NA, NB are the two sample sizes.
+	NA, NB int
+}
+
+// KSTwoSample runs the two-sample Kolmogorov–Smirnov test. The paper
+// uses it to show daytime and nighttime spot prices share a
+// distribution (p > 0.01), justifying the i.i.d. arrival assumption.
+func KSTwoSample(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs non-empty samples (%d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	p := ksPValue(d * (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)))
+	return KSResult{D: d, P: p, NA: len(a), NB: len(b)}, nil
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²λ²).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

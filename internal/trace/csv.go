@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+)
+
+// csvHeader mirrors the columns of Amazon's DescribeSpotPriceHistory
+// responses (the dataset format the paper's client consumed).
+var csvHeader = []string{"Timestamp", "InstanceType", "ProductDescription", "SpotPrice"}
+
+// productDescription is fixed: the paper used Linux instances.
+const productDescription = "Linux/UNIX"
+
+// WriteCSV serializes the trace in the AWS-style four-column format,
+// one row per slot, timestamps in RFC 3339.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	row := make([]string, 4)
+	for i, p := range t.Prices {
+		row[0] = t.Grid.Time(i).Format(time.RFC3339)
+		row[1] = string(t.Type)
+		row[2] = productDescription
+		row[3] = strconv.FormatFloat(p, 'f', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV. The rows
+// must be slot-regular: consecutive timestamps exactly one slot
+// apart. The slot length is inferred from the first two rows; a
+// single-row file uses the default five-minute slot.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("trace: CSV has no data rows")
+	}
+	if rows[0][0] != csvHeader[0] || rows[0][3] != csvHeader[3] {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", rows[0])
+	}
+	data := rows[1:]
+
+	times := make([]time.Time, len(data))
+	prices := make([]float64, len(data))
+	var typ instances.Type
+	for i, row := range data {
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad timestamp %q: %w", i+1, row[0], err)
+		}
+		times[i] = ts
+		if i == 0 {
+			typ = instances.Type(row[1])
+		} else if instances.Type(row[1]) != typ {
+			return nil, fmt.Errorf("trace: row %d: mixed instance types %q and %q", i+1, row[1], typ)
+		}
+		p, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad price %q: %w", i+1, row[3], err)
+		}
+		prices[i] = p
+	}
+
+	slot := timeslot.DefaultSlot
+	if len(times) >= 2 {
+		slot = timeslot.HoursOf(times[1].Sub(times[0]))
+	}
+	grid := timeslot.Grid{Slot: slot, Start: times[0]}
+	if err := grid.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: inferred grid invalid: %w", err)
+	}
+	for i, ts := range times {
+		if !ts.Equal(grid.Time(i)) {
+			return nil, fmt.Errorf("trace: row %d: timestamp %v breaks the slot grid (want %v)", i+1, ts, grid.Time(i))
+		}
+	}
+	return New(typ, grid, prices)
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV throws arbitrary bytes at the history parser: it must
+// either reject the input with an error or produce a trace that
+// round-trips through WriteCSV. Run the seed corpus with `go test`;
+// explore with `go test -fuzz=FuzzReadCSV ./internal/trace`.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("")
+	f.Add("Timestamp,InstanceType,ProductDescription,SpotPrice\n")
+	f.Add("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"2014-08-14T00:00:00Z,r3.xlarge,Linux/UNIX,0.03\n" +
+		"2014-08-14T00:05:00Z,r3.xlarge,Linux/UNIX,0.031\n")
+	f.Add("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"2014-08-14T00:00:00Z,r3.xlarge,Linux/UNIX,-1\n" +
+		"2014-08-14T00:05:00Z,r3.xlarge,Linux/UNIX,0.03\n")
+	f.Add("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"not-a-time,r3.xlarge,Linux/UNIX,0.03\nalso-bad,r3.xlarge,Linux/UNIX,x\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"2014-08-14T00:00:00Z,r3.xlarge,Linux/UNIX,0.03\n" +
+		"2014-08-14T00:07:00Z,r3.xlarge,Linux/UNIX,0.03\n") // ragged grid
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Accepted input must be internally consistent and
+		// serializable.
+		if tr.Len() == 0 {
+			t.Fatal("accepted an empty trace")
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace cannot serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), tr.Len())
+		}
+		for i := range tr.Prices {
+			if back.Prices[i] != tr.Prices[i] {
+				t.Fatalf("round trip changed price %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/instances"
+	"repro/internal/stats"
+)
+
+// Summary is a descriptive digest of a price history — what a user
+// looks at before trusting a trace enough to bid from it.
+type Summary struct {
+	// Type is the instance type; OnDemand its price ceiling.
+	Type     instances.Type
+	OnDemand float64
+	// Slots and Hours give the span.
+	Slots int
+	Hours float64
+	// Min, Max, Mean summarize the price level; MeanOverOnDemand is
+	// the discount headline (≈ 0.09 for calibrated traces).
+	Min, Max, Mean   float64
+	MeanOverOnDemand float64
+	// P50, P90, P95, P99 are price percentiles.
+	P50, P90, P95, P99 float64
+	// Autocorr1, Autocorr12, Autocorr144 are lag autocorrelations at
+	// 5 minutes, 1 hour, and 12 hours — the stickiness signature.
+	Autocorr1, Autocorr12, Autocorr144 float64
+	// DayNightD and DayNightP are the §4.3 stationarity KS test.
+	DayNightD, DayNightP float64
+}
+
+// Summarize computes the digest.
+func (t *Trace) Summarize() (Summary, error) {
+	spec, err := instances.Lookup(t.Type)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{
+		Type:     t.Type,
+		OnDemand: spec.OnDemand,
+		Slots:    t.Len(),
+		Hours:    float64(t.Duration()),
+		Min:      t.Min(),
+		Max:      t.Max(),
+		Mean:     t.Mean(),
+		P50:      stats.Percentile(t.Prices, 50),
+		P90:      stats.Percentile(t.Prices, 90),
+		P95:      stats.Percentile(t.Prices, 95),
+		P99:      stats.Percentile(t.Prices, 99),
+	}
+	s.MeanOverOnDemand = s.Mean / spec.OnDemand
+	ac := stats.Autocorrelation(t.Prices, []int{1, 12, 144})
+	s.Autocorr1, s.Autocorr12, s.Autocorr144 = ac[0], ac[1], ac[2]
+	day, night := t.DayNight()
+	if ks, err := stats.KSTwoSample(day, night); err == nil {
+		s.DayNightD, s.DayNightP = ks.D, ks.P
+	}
+	return s, nil
+}
+
+// String renders the digest in the spotsim -summary layout.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance type : %s (on-demand $%.3f/h)\n", s.Type, s.OnDemand)
+	fmt.Fprintf(&b, "span          : %d slots (%.0f hours)\n", s.Slots, s.Hours)
+	fmt.Fprintf(&b, "price range   : $%.4f – $%.4f, mean $%.4f\n", s.Min, s.Max, s.Mean)
+	fmt.Fprintf(&b, "mean/on-demand: %.1f%%\n", 100*s.MeanOverOnDemand)
+	fmt.Fprintf(&b, "p50/p90/p95/p99: $%.4f / $%.4f / $%.4f / $%.4f\n", s.P50, s.P90, s.P95, s.P99)
+	fmt.Fprintf(&b, "autocorr lag 1/12/144: %.3f / %.3f / %.3f\n", s.Autocorr1, s.Autocorr12, s.Autocorr144)
+	fmt.Fprintf(&b, "day/night KS  : D=%.4f p=%.3f\n", s.DayNightD, s.DayNightP)
+	return b.String()
+}

@@ -1,0 +1,301 @@
+// Package spotbid is a faithful reproduction of "How to Bid the
+// Cloud" (Zheng, Joe-Wong, Tan, Chiang, Wang — SIGCOMM 2015): optimal
+// bidding strategies for auction-priced cloud spot instances,
+// together with the provider-side spot-price model the strategies are
+// derived from and a complete simulated EC2 substrate to evaluate
+// them on.
+//
+// The package is a facade: it re-exports the library's public surface
+// so downstream users import one path. The implementation lives in
+// the internal packages:
+//
+//   - internal/core      — the bidding strategies (Prop. 4/5, Eq. 19/20)
+//   - internal/market    — the provider model (§4): price optimization,
+//     queue dynamics, equilibrium price distribution
+//   - internal/dist      — hand-rolled probability distributions
+//   - internal/stats     — fitting, KS test, histograms
+//   - internal/trace     — spot-price histories and the calibrated
+//     synthetic generator
+//   - internal/cloud     — the simulated EC2 region (spot + on-demand)
+//   - internal/job       — single-instance job execution and billing
+//   - internal/mapreduce — the master/slave MapReduce engine
+//   - internal/client    — the Fig. 1 bidding client
+//   - internal/experiments — regeneration of every table and figure
+//
+// # Quickstart
+//
+//	history, _ := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{})
+//	ecdf, _ := history.ECDF(0)
+//	m := spotbid.Market{Price: ecdf, OnDemand: 0.35}
+//	bid, _ := m.PersistentBid(spotbid.Job{Exec: 1, Recovery: spotbid.Seconds(30)})
+//	fmt.Printf("bid $%.4f/h, expected cost $%.4f\n", bid.Price, bid.ExpectedCost)
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package spotbid
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/forecast"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/mapreduce"
+	"repro/internal/market"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+// Time units (see internal/timeslot).
+type (
+	// Hours is a duration in hours, the paper's time unit.
+	Hours = timeslot.Hours
+	// Grid is a discrete slot grid.
+	Grid = timeslot.Grid
+)
+
+// DefaultSlot is the five-minute pricing slot t_k.
+const DefaultSlot = timeslot.DefaultSlot
+
+// Seconds converts seconds to Hours (t_r = Seconds(30)).
+func Seconds(s float64) Hours { return timeslot.Seconds(s) }
+
+// NewGrid returns a slot grid with the given slot length.
+func NewGrid(slot Hours) Grid { return timeslot.NewGrid(slot) }
+
+// Probability distributions (see internal/dist).
+type (
+	// Dist is a univariate continuous distribution.
+	Dist = dist.Dist
+	// Pareto, Exponential, Uniform are the parametric families the
+	// paper uses; Empirical is an ECDF built from a price history;
+	// Mixture composes components.
+	Pareto      = dist.Pareto
+	Exponential = dist.Exponential
+	Uniform     = dist.Uniform
+	Empirical   = dist.Empirical
+	Mixture     = dist.Mixture
+)
+
+// Distribution constructors.
+var (
+	NewPareto      = dist.NewPareto
+	NewExponential = dist.NewExponential
+	NewUniform     = dist.NewUniform
+	NewEmpirical   = dist.NewEmpirical
+	NewMixture     = dist.NewMixture
+)
+
+// The provider model (§4; see internal/market).
+type (
+	// Provider holds (π̲, π̄, β, θ).
+	Provider = market.Provider
+	// EquilibriumPriceDist is the spot-price distribution induced by
+	// an arrival process (Prop. 2–3).
+	EquilibriumPriceDist = market.EquilibriumPriceDist
+	// MarketSimulator runs the full queue dynamics (Fig. 2).
+	MarketSimulator = market.Simulator
+)
+
+// NewEquilibriumPriceDist builds the equilibrium price distribution.
+var NewEquilibriumPriceDist = market.NewEquilibriumPriceDist
+
+// The bidding strategies (§5–6; see internal/core).
+type (
+	// Market is a spot market seen by the bidder: F_π + π̄ + t_k.
+	Market = core.Market
+	// Job is a single-instance job (t_s, t_r).
+	Job = core.Job
+	// Bid is a bidding decision with its analytic predictions.
+	Bid = core.Bid
+	// MapReduceJob is the parallel job of §6.
+	MapReduceJob = core.MapReduceJob
+	// Plan is a complete master+slave bidding plan (Eq. 20).
+	Plan = core.Plan
+	// DeadlineJob is the §8 risk-averse variant: a hard deadline
+	// with a bounded miss probability.
+	DeadlineJob = core.DeadlineJob
+)
+
+// ErrInfeasible reports a job that no feasible bid can serve (Eq. 14).
+var ErrInfeasible = core.ErrInfeasible
+
+// PlanMapReduce solves the joint master/slave problem of Eq. 20.
+var PlanMapReduce = core.PlanMapReduce
+
+// MarketOption is one row of a cross-type market ranking.
+type MarketOption = core.Option
+
+// RankMarkets sorts candidate markets by a job's expected cost.
+var RankMarkets = core.RankMarkets
+
+// The instance catalog (Table 2; see internal/instances).
+type (
+	// InstanceType names an EC2 instance type.
+	InstanceType = instances.Type
+	// InstanceSpec is its size and on-demand price.
+	InstanceSpec = instances.Spec
+)
+
+// The paper's instance types.
+const (
+	M1XLarge = instances.M1XLarge
+	M3XLarge = instances.M3XLarge
+	M32XL    = instances.M32XL
+	R3XLarge = instances.R3XLarge
+	R32XL    = instances.R32XL
+	R34XL    = instances.R34XL
+	C3XLarge = instances.C3XLarge
+	C32XL    = instances.C32XL
+	C34XL    = instances.C34XL
+	C38XL    = instances.C38XL
+)
+
+// Catalog access.
+var (
+	LookupInstance = instances.Lookup
+	AllInstances   = instances.All
+)
+
+// Spot-price histories (see internal/trace).
+type (
+	// Trace is a slot-regular price history.
+	Trace = trace.Trace
+	// GenOptions tunes the calibrated synthetic generator.
+	GenOptions = trace.GenOptions
+	// Calibration is a type's generative parameters.
+	Calibration = trace.Calibration
+	// TraceSummary is a descriptive digest of a price history.
+	TraceSummary = trace.Summary
+)
+
+// Trace construction and generation.
+var (
+	NewTrace       = trace.New
+	GenerateTrace  = trace.Generate
+	ReadTraceCSV   = trace.ReadCSV
+	CalibrationFor = trace.CalibrationFor
+)
+
+// The simulated cloud (see internal/cloud, internal/job,
+// internal/checkpoint).
+type (
+	// Region is the simulated EC2 region.
+	Region = cloud.Region
+	// SpotRequest and Instance mirror the EC2 API objects.
+	SpotRequest = cloud.SpotRequest
+	Instance    = cloud.Instance
+	// RequestKind is one-time vs persistent.
+	RequestKind = cloud.RequestKind
+	// JobSpec, JobOutcome, JobTracker run jobs against a region.
+	JobSpec    = job.Spec
+	JobOutcome = job.Outcome
+	JobTracker = job.Tracker
+	// Volume is the checkpoint store.
+	Volume = checkpoint.Volume
+)
+
+// Request kinds.
+const (
+	OneTime    = cloud.OneTime
+	Persistent = cloud.Persistent
+)
+
+// Cloud construction and job execution.
+var (
+	NewRegion      = cloud.NewRegion
+	ErrEndOfTrace  = cloud.ErrEndOfTrace
+	NewSpotJob     = job.NewSpotJob
+	NewOnDemandJob = job.NewOnDemandJob
+	RunJob         = job.Run
+	NewVolume      = checkpoint.NewVolume
+)
+
+// MapReduce (see internal/mapreduce).
+type (
+	// Corpus is a document set; MRConfig and MRResult parameterize
+	// and summarize an engine run.
+	Corpus   = mapreduce.Corpus
+	MRConfig = mapreduce.Config
+	MRResult = mapreduce.Result
+	// MRNodeSpec provisions a node role.
+	MRNodeSpec = mapreduce.NodeSpec
+	// Mapper and Reducer extend the engine beyond word count.
+	Mapper  = mapreduce.Mapper
+	Reducer = mapreduce.Reducer
+	// WordCountJob is the canonical §7.2 job.
+	WordCountJob = mapreduce.WordCount
+)
+
+// MapReduce helpers.
+var (
+	GenerateCorpus = mapreduce.GenerateCorpus
+	RunMapReduce   = mapreduce.Run
+	CountWords     = mapreduce.CountWords
+	TopWords       = mapreduce.TopWords
+)
+
+// Billing modes (see internal/cloud/billing.go).
+type BillingMode = cloud.BillingMode
+
+// PerSlotBilling is the paper's continuous-limit model; HourlyBilling
+// reproduces Amazon's 2014 instance-hour rules (partial hours free on
+// provider termination).
+const (
+	PerSlotBilling = cloud.PerSlot
+	HourlyBilling  = cloud.Hourly
+)
+
+// Price forecasting (the §5 alternative; see internal/forecast).
+type (
+	// Predictor forecasts future prices from a history window.
+	Predictor = forecast.Predictor
+	// NaivePredictor, SMAPredictor, EWMAPredictor, AR1Predictor are
+	// the built-in models.
+	NaivePredictor = forecast.Naive
+	SMAPredictor   = forecast.SMA
+	EWMAPredictor  = forecast.EWMA
+	AR1Predictor   = forecast.AR1
+	// ForecastErrors summarizes a rolling evaluation.
+	ForecastErrors = forecast.Errors
+)
+
+// EvaluateForecast runs a rolling-origin forecast evaluation.
+var EvaluateForecast = forecast.Evaluate
+
+// DAG workflows (the §8 "task dependence" extension; see
+// internal/workflow).
+type (
+	// WorkflowTask is one DAG node; Workflow the validated DAG;
+	// WorkflowRunner executes it, bidding on each task only once its
+	// dependencies complete; WorkflowResult summarizes the run.
+	WorkflowTask   = workflow.Task
+	Workflow       = workflow.Workflow
+	WorkflowRunner = workflow.Runner
+	WorkflowResult = workflow.Result
+)
+
+// NewWorkflow validates and builds a task DAG.
+var NewWorkflow = workflow.New
+
+// The bidding client (Fig. 1; see internal/client).
+type (
+	// Client glues price monitor, bid calculator, and job monitor.
+	Client = client.Client
+	// Report pairs analytic predictions with measured outcomes.
+	Report = client.Report
+	// MapReduceSpec and MapReduceReport are the parallel-job
+	// equivalents.
+	MapReduceSpec   = client.MapReduceSpec
+	MapReduceReport = client.MapReduceReport
+	// FallbackReport summarizes a one-time-with-on-demand-fallback
+	// run (§3.2's completion-control playbook).
+	FallbackReport = client.FallbackReport
+)
+
+// NewClient builds a client for a region.
+var NewClient = client.New
