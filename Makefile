@@ -1,0 +1,31 @@
+# Standard checks. `make check` is the pre-merge gate: vet + the full
+# test suite under the race detector (the chaos loop and the parallel
+# experiment harness must stay race-clean).
+
+GO ?= go
+
+.PHONY: all build test vet race check fuzz bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Short fuzz pass over both history-parser targets.
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem .

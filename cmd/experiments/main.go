@@ -22,7 +22,7 @@ func main() {
 	var (
 		seed = flag.Int64("seed", 1, "experiment seed")
 		runs = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
-		only = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,ablations")
+		only = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,ablations")
 	)
 	flag.Parse()
 	opts := experiments.Opts{Seed: *seed, Runs: *runs}
@@ -77,6 +77,11 @@ func main() {
 	if sel("forecast") {
 		section("Forecasting — §5's horizon check", func() (interface{ Render() string }, error) {
 			return experiments.ForecastEval(opts)
+		})
+	}
+	if sel("chaos") {
+		section("Chaos — strategy degradation under injected faults", func() (interface{ Render() string }, error) {
+			return experiments.ChaosSweep(opts)
 		})
 	}
 	if sel("ablations") {

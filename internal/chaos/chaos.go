@@ -1,0 +1,323 @@
+// Package chaos is the deterministic fault-injection layer for the
+// simulated cloud. The paper's client (Fig. 1) ran against real EC2,
+// where DescribeSpotPriceHistory calls failed transiently, price
+// telemetry arrived late or with gaps, capacity vanished, and out-bid
+// notices lagged; the reproduction's substrate is pristine unless this
+// package perturbs it. An Injector implements cloud.FaultInjector and
+// plugs into a Region via SetInjector; a seeded Config makes every
+// fault sequence reproducible, and a zero-rate Config is
+// behavior-preserving — the chaos-wrapped region is bit-identical to a
+// fault-free one (see the acceptance test in chaos_test.go).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+// Config sets the fault process. All rates are probabilities in [0,1];
+// a zero value disables that fault entirely (no RNG is consumed for
+// it, so partial configs stay reproducible).
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+
+	// APIFaultRate is the per-call probability that a region API call
+	// (price history, submit, cancel, terminate) fails transiently.
+	APIFaultRate float64
+	// APIBurst forces that many consecutive calls of the same
+	// operation to fail once a fault fires (default 1) — EC2 errors
+	// clustered.
+	APIBurst int
+
+	// DropRate is the per-slot probability a price-history entry is
+	// lost in telemetry; the feed holds the last seen value.
+	DropRate float64
+	// DupRate is the per-slot probability an entry is duplicated over
+	// its successor.
+	DupRate float64
+	// CorruptRate is the per-slot probability an entry is corrupted
+	// to a wrong (but parseable) price.
+	CorruptRate float64
+	// StaleProb is the per-fetch probability the whole history window
+	// is stale: its newest StaleSlots slots are missing.
+	StaleProb float64
+	// StaleSlots is the staleness lag (default 36 slots = 3 hours).
+	StaleSlots int
+
+	// OutageRate is the per-slot probability a capacity outage starts
+	// in a spot market: launches are refused for OutageSlots slots
+	// even for bids above the spot price.
+	OutageRate float64
+	// OutageSlots is the outage length (default 6 slots = 30 min).
+	OutageSlots int
+
+	// OutbidDelayProb is the probability an out-bid notice is delayed:
+	// the instance keeps running — and billing — for OutbidDelaySlots
+	// more slots, like EC2's two-minute warning.
+	OutbidDelayProb float64
+	// OutbidDelaySlots is the notice lag (default 1 slot).
+	OutbidDelaySlots int
+
+	// CheckpointFailRate is the per-save probability a checkpoint
+	// write fails: progress since the last durable checkpoint is lost.
+	CheckpointFailRate float64
+}
+
+// Uniform returns a Config whose every fault intensity scales with one
+// knob: rate 0 is fault-free, rate ≈ 0.1 is a rough day on EC2. The
+// chaos experiment sweeps this knob.
+func Uniform(rate float64, seed int64) Config {
+	return Config{
+		Seed:               seed,
+		APIFaultRate:       rate,
+		APIBurst:           2,
+		DropRate:           rate,
+		DupRate:            rate / 2,
+		CorruptRate:        rate / 2,
+		StaleProb:          rate,
+		OutageRate:         rate / 20,
+		OutbidDelayProb:    rate,
+		CheckpointFailRate: rate,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.APIBurst < 1 {
+		c.APIBurst = 1
+	}
+	if c.StaleSlots <= 0 {
+		c.StaleSlots = 36
+	}
+	if c.OutageSlots <= 0 {
+		c.OutageSlots = 6
+	}
+	if c.OutbidDelaySlots <= 0 {
+		c.OutbidDelaySlots = 1
+	}
+	return c
+}
+
+// Stats counts the faults an Injector actually delivered.
+type Stats struct {
+	// APIFaults counts failed API calls (bursts included).
+	APIFaults int
+	// StaleServes counts history fetches answered with a stale window.
+	StaleServes int
+	// DroppedSlots, DupedSlots, CorruptedSlots count degraded
+	// telemetry entries across all fetches.
+	DroppedSlots, DupedSlots, CorruptedSlots int
+	// Outages counts capacity-outage episodes started.
+	Outages int
+	// DelayedOutbids counts out-bid notices that were delayed.
+	DelayedOutbids int
+	// CheckpointFailures counts failed checkpoint writes.
+	CheckpointFailures int
+}
+
+// Total sums every fault delivered.
+func (s Stats) Total() int {
+	return s.APIFaults + s.StaleServes + s.DroppedSlots + s.DupedSlots +
+		s.CorruptedSlots + s.Outages + s.DelayedOutbids + s.CheckpointFailures
+}
+
+// Injector implements cloud.FaultInjector (plus a checkpoint write
+// hook) from a seeded Config. It is safe for concurrent use, but
+// reproducibility holds only when the region is driven from one
+// goroutine — give each parallel simulation its own Injector.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	burst map[cloud.Op]int // remaining forced failures per op
+
+	// per-type outage schedule, advanced lazily slot by slot
+	outageNext  map[instances.Type]int // first slot not yet decided
+	outageUntil map[instances.Type]int // outage active while slot < until
+
+	stats Stats
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		burst:       make(map[cloud.Op]int),
+		outageNext:  make(map[instances.Type]int),
+		outageUntil: make(map[instances.Type]int),
+	}
+}
+
+// Config returns the injector's (defaulted) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns a snapshot of the faults delivered so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// APIFault implements cloud.FaultInjector: with probability
+// APIFaultRate the call fails with a transient (retryable) error, and
+// the next APIBurst−1 calls of the same operation fail with it.
+func (in *Injector) APIFault(op cloud.Op, slot int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.burst[op] > 0 {
+		in.burst[op]--
+		in.stats.APIFaults++
+		return transientf("chaos: injected %s failure (burst) at slot %d", op, slot)
+	}
+	if in.cfg.APIFaultRate <= 0 {
+		return nil
+	}
+	if in.rng.Float64() >= in.cfg.APIFaultRate {
+		return nil
+	}
+	in.burst[op] = in.cfg.APIBurst - 1
+	in.stats.APIFaults++
+	return transientf("chaos: injected %s failure at slot %d", op, slot)
+}
+
+// DegradeHistory implements cloud.FaultInjector: it may serve a stale
+// window and drop, duplicate, or corrupt individual entries. The input
+// trace is never mutated — it shares storage with the live market.
+func (in *Injector) DegradeHistory(tr *trace.Trace, slot int) *trace.Trace {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.cfg
+	if c.StaleProb <= 0 && c.DropRate <= 0 && c.DupRate <= 0 && c.CorruptRate <= 0 {
+		return tr
+	}
+	out := tr
+	if c.StaleProb > 0 && tr.Len() > c.StaleSlots+1 && in.rng.Float64() < c.StaleProb {
+		if w, err := tr.Window(0, tr.Len()-c.StaleSlots); err == nil {
+			out = w
+			in.stats.StaleServes++
+		}
+	}
+	if c.DropRate <= 0 && c.DupRate <= 0 && c.CorruptRate <= 0 {
+		return out
+	}
+	out = out.Clone()
+	p := out.Prices
+	if c.DropRate > 0 {
+		for i := 1; i < len(p); i++ {
+			if in.rng.Float64() < c.DropRate {
+				p[i] = p[i-1] // telemetry gap: the feed holds the last value
+				in.stats.DroppedSlots++
+			}
+		}
+	}
+	if c.DupRate > 0 {
+		for i := 0; i < len(p)-1; i++ {
+			if in.rng.Float64() < c.DupRate {
+				p[i+1] = p[i]
+				in.stats.DupedSlots++
+			}
+		}
+	}
+	if c.CorruptRate > 0 {
+		for i := range p {
+			if in.rng.Float64() < c.CorruptRate {
+				p[i] = corruptPrice(in.rng, p[i])
+				in.stats.CorruptedSlots++
+			}
+		}
+	}
+	return out
+}
+
+// LaunchBlocked implements cloud.FaultInjector: the type's spot market
+// refuses launches while a capacity outage is active. Outage starts
+// are drawn once per (type, slot) regardless of how many pending
+// requests ask, so determinism doesn't depend on the request count.
+func (in *Injector) LaunchBlocked(t instances.Type, slot int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.OutageRate <= 0 {
+		return false
+	}
+	for s := in.outageNext[t]; s <= slot; s++ {
+		if s >= in.outageUntil[t] && in.rng.Float64() < in.cfg.OutageRate {
+			in.outageUntil[t] = s + in.cfg.OutageSlots
+			in.stats.Outages++
+		}
+	}
+	in.outageNext[t] = slot + 1
+	return slot < in.outageUntil[t]
+}
+
+// OutbidDelay implements cloud.FaultInjector: with probability
+// OutbidDelayProb the out-bid notice lags OutbidDelaySlots slots.
+func (in *Injector) OutbidDelay(slot int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.OutbidDelayProb <= 0 {
+		return 0
+	}
+	if in.rng.Float64() >= in.cfg.OutbidDelayProb {
+		return 0
+	}
+	in.stats.DelayedOutbids++
+	return in.cfg.OutbidDelaySlots
+}
+
+// CheckpointFault is the checkpoint.Volume write hook: with
+// probability CheckpointFailRate the save fails with
+// checkpoint.ErrWriteFailed (wrapped transient), losing any progress
+// since the previous durable checkpoint.
+func (in *Injector) CheckpointFault(jobID string, slot int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.CheckpointFailRate <= 0 {
+		return nil
+	}
+	if in.rng.Float64() >= in.cfg.CheckpointFailRate {
+		return nil
+	}
+	in.stats.CheckpointFailures++
+	return retry.Transient(fmt.Errorf("%w: chaos: injected write failure for %s at slot %d",
+		checkpoint.ErrWriteFailed, jobID, slot))
+}
+
+// Arm installs the injector on a region and, when vol is non-nil, its
+// checkpoint volume — one call wires the whole fault surface.
+func (in *Injector) Arm(r *cloud.Region, vol *checkpoint.Volume) {
+	r.SetInjector(in)
+	if vol != nil {
+		vol.SetWriteFault(in.CheckpointFault)
+	}
+}
+
+// corruptPrice returns a wrong but valid (finite, non-negative) price:
+// zeroed, halved, doubled, or spiked tenfold.
+func corruptPrice(rng *rand.Rand, p float64) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return 0
+	case 1:
+		return p / 2
+	case 2:
+		return p * 2
+	default:
+		return p * 10
+	}
+}
+
+func transientf(format string, args ...any) error {
+	return retry.Transient(fmt.Errorf(format, args...))
+}

@@ -1,0 +1,295 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/retry"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+func flatRegion(t *testing.T, prices []float64) *cloud.Region {
+	t.Helper()
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// persistentRun runs one persistent job over a generated trace with
+// the given injector (nil: fault-free) and returns its report.
+func persistentRun(t *testing.T, inj *Injector) client.Report {
+	t.Helper()
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 63, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		inj.Arm(region, cl.Volume)
+	}
+	if err := cl.Skip(61 * 288); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.RunPersistent(job.Spec{ID: "chaos", Type: instances.R3XLarge, Exec: 1, Recovery: timeslot.Seconds(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestZeroRateBitIdentical is the acceptance criterion: a
+// chaos-wrapped region with every fault rate at zero reproduces the
+// fault-free run bit for bit.
+func TestZeroRateBitIdentical(t *testing.T) {
+	base := persistentRun(t, nil)
+	wrapped := persistentRun(t, New(Config{Seed: 99}))
+	if !reflect.DeepEqual(base, wrapped) {
+		t.Errorf("zero-rate chaos diverged:\nfault-free: %+v\nwrapped:    %+v", base, wrapped)
+	}
+	zeroUniform := persistentRun(t, New(Uniform(0, 3)))
+	if !reflect.DeepEqual(base, zeroUniform) {
+		t.Errorf("Uniform(0) chaos diverged:\nfault-free: %+v\nwrapped:    %+v", base, zeroUniform)
+	}
+}
+
+// TestDeterministicPerSeed: identical seeds give identical runs and
+// identical fault logs.
+func TestDeterministicPerSeed(t *testing.T) {
+	inj1 := New(Uniform(0.08, 42))
+	rep1 := persistentRun(t, inj1)
+	inj2 := New(Uniform(0.08, 42))
+	rep2 := persistentRun(t, inj2)
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("same seed diverged:\n%+v\n%+v", rep1, rep2)
+	}
+	if inj1.Stats() != inj2.Stats() {
+		t.Errorf("same seed, different fault logs: %+v vs %+v", inj1.Stats(), inj2.Stats())
+	}
+	if inj1.Stats().Total() == 0 {
+		t.Error("rate 0.08 injected no faults at all")
+	}
+}
+
+func TestAPIFaultAndBurst(t *testing.T) {
+	in := New(Config{APIFaultRate: 1, APIBurst: 3})
+	for i := 0; i < 3; i++ {
+		err := in.APIFault(cloud.OpSubmit, i)
+		if err == nil {
+			t.Fatalf("call %d: no injected fault at rate 1", i)
+		}
+		if !retry.IsTransient(err) {
+			t.Fatalf("call %d: injected fault not transient: %v", i, err)
+		}
+	}
+	if got := in.Stats().APIFaults; got != 3 {
+		t.Errorf("APIFaults = %d, want 3", got)
+	}
+	// Zero rate: never a fault, no RNG consumed.
+	quiet := New(Config{})
+	for i := 0; i < 100; i++ {
+		if err := quiet.APIFault(cloud.OpCancel, i); err != nil {
+			t.Fatalf("zero-rate injector faulted: %v", err)
+		}
+	}
+}
+
+func TestDegradeHistoryNeverMutatesSource(t *testing.T) {
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot),
+		[]float64{0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]float64(nil), tr.Prices...)
+	in := New(Config{DropRate: 0.9, DupRate: 0.9, CorruptRate: 0.9, StaleProb: 1, StaleSlots: 2})
+	out := in.DegradeHistory(tr, 7)
+	if !reflect.DeepEqual(tr.Prices, orig) {
+		t.Fatal("DegradeHistory mutated the source trace")
+	}
+	if out == tr {
+		t.Fatal("expected a degraded copy at rate ~1")
+	}
+	if out.Len() != tr.Len()-2 {
+		t.Errorf("stale window: len %d, want %d", out.Len(), tr.Len()-2)
+	}
+	for _, p := range out.Prices {
+		if !(p >= 0) {
+			t.Errorf("degraded trace has invalid price %v", p)
+		}
+	}
+	st := in.Stats()
+	if st.StaleServes != 1 || st.DroppedSlots+st.DupedSlots+st.CorruptedSlots == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestLaunchBlockedDrawsOncePerSlot(t *testing.T) {
+	in := New(Config{OutageRate: 0.5, OutageSlots: 3, Seed: 5})
+	// Ask many times about the same slot: the answer must be stable
+	// and the outage schedule must not advance.
+	first := in.LaunchBlocked(instances.R3XLarge, 10)
+	for i := 0; i < 20; i++ {
+		if got := in.LaunchBlocked(instances.R3XLarge, 10); got != first {
+			t.Fatal("LaunchBlocked changed its answer within one slot")
+		}
+	}
+	outages := in.Stats().Outages
+	// Walking forward must eventually start (and end) outages.
+	blockedSlots := 0
+	for s := 11; s < 200; s++ {
+		if in.LaunchBlocked(instances.R3XLarge, s) {
+			blockedSlots++
+		}
+	}
+	if in.Stats().Outages <= outages {
+		t.Error("no outages over 189 slots at rate 0.5")
+	}
+	if blockedSlots == 0 || blockedSlots == 189 {
+		t.Errorf("blockedSlots = %d, want strictly between 0 and 189", blockedSlots)
+	}
+}
+
+// TestOutbidDelayKeepsBilling: a delayed out-bid notice keeps the
+// instance running — and billing at the (higher) spot price — until
+// the notice lands.
+func TestOutbidDelayKeepsBilling(t *testing.T) {
+	// Slot:  0     1     2     3     4     5     6     7
+	prices := []float64{0.03, 0.03, 0.03, 0.03, 0.10, 0.10, 0.10, 0.10}
+	slotH := float64(timeslot.DefaultSlot)
+
+	run := func(inj *Injector) (*cloud.Region, *cloud.SpotRequest) {
+		r := flatRegion(t, prices)
+		if inj != nil {
+			r.SetInjector(inj)
+		}
+		reqs, err := r.RequestSpotInstances(instances.R3XLarge, 0.05, cloud.OneTime, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r.Now()+1 < r.Horizon() {
+			if err := r.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r, reqs[0]
+	}
+
+	base, baseReq := run(nil)
+	delayed, delReq := run(New(Config{OutbidDelayProb: 1, OutbidDelaySlots: 2}))
+
+	baseInst, err := base.Instance(baseReq.InstanceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delInst, err := delayed.Instance(delReq.InstanceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseInst.TerminatedSlot != 4 {
+		t.Fatalf("fault-free termination at slot %d, want 4", baseInst.TerminatedSlot)
+	}
+	if delInst.TerminatedSlot != 6 {
+		t.Fatalf("delayed termination at slot %d, want 6", delInst.TerminatedSlot)
+	}
+	// Two extra slots billed at the 0.10 spot price.
+	extra := delInst.Cost - baseInst.Cost
+	want := 2 * 0.10 * slotH
+	if diff := extra - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("delayed billing extra = %v, want %v", extra, want)
+	}
+	if !delInst.ProviderTerminated {
+		t.Error("delayed termination not attributed to the provider")
+	}
+}
+
+// TestCapacityOutageDefersLaunch: a blocked market leaves the request
+// open; it launches when the outage lifts.
+func TestCapacityOutageDefersLaunch(t *testing.T) {
+	prices := []float64{0.03, 0.03, 0.03, 0.03, 0.03, 0.03}
+	r := flatRegion(t, prices)
+	// Deterministic outage: rate 1 starts an outage at every eligible
+	// slot — but the schedule only re-arms after OutageSlots pass, so
+	// slots 1..3 are blocked and slot 4 re-blocks. Use a two-slot
+	// outage and check the request stays Open while blocked.
+	in := New(Config{OutageRate: 1, OutageSlots: 2})
+	r.SetInjector(in)
+	reqs, err := r.RequestSpotInstances(instances.R3XLarge, 0.05, cloud.Persistent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Tick(); err != nil { // slot 1: outage started at slot 1
+		t.Fatal(err)
+	}
+	if reqs[0].State != cloud.Open {
+		t.Fatalf("state during outage: %v, want open", reqs[0].State)
+	}
+	if in.Stats().Outages == 0 {
+		t.Fatal("no outage recorded")
+	}
+}
+
+func TestCheckpointFaultTyped(t *testing.T) {
+	in := New(Config{CheckpointFailRate: 1})
+	err := in.CheckpointFault("job", 3)
+	if err == nil {
+		t.Fatal("rate-1 checkpoint fault did not fire")
+	}
+	if !retry.IsTransient(err) {
+		t.Error("checkpoint fault not marked transient")
+	}
+}
+
+func TestCSVCorruptionsNeverMutateInput(t *testing.T) {
+	base := []byte("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"2014-08-14T00:00:00Z,r3.xlarge,Linux/UNIX,0.03\n" +
+		"2014-08-14T00:05:00Z,r3.xlarge,Linux/UNIX,0.031\n" +
+		"2014-08-14T00:10:00Z,r3.xlarge,Linux/UNIX,0.03\n")
+	want := append([]byte(nil), base...)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range CSVCorruptions {
+		for i := 0; i < 50; i++ {
+			_ = c.Apply(rng, base)
+			if string(base) != string(want) {
+				t.Fatalf("%s mutated its input", c.Name)
+			}
+		}
+	}
+}
+
+func TestCSVCorruptionsProduceChanges(t *testing.T) {
+	base := []byte("Timestamp,InstanceType,ProductDescription,SpotPrice\n" +
+		"2014-08-14T00:00:00Z,r3.xlarge,Linux/UNIX,0.03\n" +
+		"2014-08-14T00:05:00Z,r3.xlarge,Linux/UNIX,0.031\n" +
+		"2014-08-14T00:10:00Z,r3.xlarge,Linux/UNIX,0.03\n" +
+		"2014-08-14T00:15:00Z,r3.xlarge,Linux/UNIX,0.032\n")
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range CSVCorruptions {
+		changed := false
+		for i := 0; i < 20 && !changed; i++ {
+			if string(c.Apply(rng, base)) != string(base) {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Errorf("%s never changed the input in 20 tries", c.Name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// CSVCorruption is one way a spot-price history file arrives broken:
+// truncated downloads, dropped or duplicated rows, garbled fields, and
+// flipped bytes. The same failure modes the Injector applies to live
+// telemetry (DegradeHistory), expressed at the serialization layer —
+// the trace package's fuzz tests feed this corpus to ReadCSV.
+type CSVCorruption struct {
+	// Name labels the corruption for seeds and test output.
+	Name string
+	// Apply returns a corrupted copy of the input; the input is never
+	// mutated.
+	Apply func(rng *rand.Rand, data []byte) []byte
+}
+
+// CSVCorruptions is the corruption corpus.
+var CSVCorruptions = []CSVCorruption{
+	{"truncate-tail", func(rng *rand.Rand, data []byte) []byte {
+		if len(data) == 0 {
+			return nil
+		}
+		return clone(data[:rng.Intn(len(data))])
+	}},
+	{"drop-row", func(rng *rand.Rand, data []byte) []byte {
+		rows := splitRows(data)
+		if len(rows) < 2 {
+			return clone(data)
+		}
+		i := rng.Intn(len(rows))
+		return joinRows(append(rows[:i:i], rows[i+1:]...))
+	}},
+	{"duplicate-row", func(rng *rand.Rand, data []byte) []byte {
+		rows := splitRows(data)
+		if len(rows) == 0 {
+			return clone(data)
+		}
+		i := rng.Intn(len(rows))
+		out := make([][]byte, 0, len(rows)+1)
+		out = append(out, rows[:i+1]...)
+		out = append(out, rows[i])
+		out = append(out, rows[i+1:]...)
+		return joinRows(out)
+	}},
+	{"swap-rows", func(rng *rand.Rand, data []byte) []byte {
+		rows := splitRows(data)
+		if len(rows) < 3 {
+			return clone(data)
+		}
+		i := 1 + rng.Intn(len(rows)-2) // keep the header in place
+		rows = append([][]byte(nil), rows...)
+		rows[i], rows[i+1] = rows[i+1], rows[i]
+		return joinRows(rows)
+	}},
+	{"garble-price", func(rng *rand.Rand, data []byte) []byte {
+		return garbleLastField(rng, data, []string{"NaN", "-Inf", "1e309", "0.0.3", "", "  0.03", "0x1p-3"})
+	}},
+	{"garble-timestamp", func(rng *rand.Rand, data []byte) []byte {
+		rows := splitRows(data)
+		if len(rows) < 2 {
+			return clone(data)
+		}
+		i := 1 + rng.Intn(len(rows)-1)
+		fields := bytes.Split(rows[i], []byte(","))
+		broken := []string{"2014-13-99T99:99:99Z", "not-a-time", "2014-08-14 00:00:00", ""}
+		fields[0] = []byte(broken[rng.Intn(len(broken))])
+		rows = append([][]byte(nil), rows...)
+		rows[i] = bytes.Join(fields, []byte(","))
+		return joinRows(rows)
+	}},
+	{"bit-flip", func(rng *rand.Rand, data []byte) []byte {
+		if len(data) == 0 {
+			return nil
+		}
+		out := clone(data)
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			out[rng.Intn(len(out))] ^= 1 << uint(rng.Intn(8))
+		}
+		return out
+	}},
+}
+
+// garbleLastField replaces the final (price) field of a random data
+// row with one of the given broken values.
+func garbleLastField(rng *rand.Rand, data []byte, broken []string) []byte {
+	rows := splitRows(data)
+	if len(rows) < 2 {
+		return clone(data)
+	}
+	i := 1 + rng.Intn(len(rows)-1)
+	fields := bytes.Split(rows[i], []byte(","))
+	fields[len(fields)-1] = []byte(broken[rng.Intn(len(broken))])
+	rows = append([][]byte(nil), rows...)
+	rows[i] = bytes.Join(fields, []byte(","))
+	return joinRows(rows)
+}
+
+func splitRows(data []byte) [][]byte {
+	rows := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	if len(rows) == 1 && len(rows[0]) == 0 {
+		return nil
+	}
+	return rows
+}
+
+func joinRows(rows [][]byte) []byte {
+	if len(rows) == 0 {
+		return nil
+	}
+	return append(bytes.Join(rows, []byte("\n")), '\n')
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

@@ -9,12 +9,19 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/timeslot"
 )
+
+// ErrWriteFailed reports that a checkpoint write was lost — the fault
+// the chaos layer injects into the volume. Errors carrying it leave
+// the previous checkpoint (if any) intact; a job resumed afterwards
+// restarts from that older state, redoing the work done since.
+var ErrWriteFailed = errors.New("checkpoint: write failed")
 
 // Record is one saved checkpoint.
 type Record struct {
@@ -36,6 +43,16 @@ type Volume struct {
 	mu      sync.Mutex
 	records map[string]Record
 	history []Record // append-only audit log
+	fault   func(jobID string, slot int) error
+}
+
+// SetWriteFault installs a hook consulted before every Save; a non-nil
+// return fails the write (the record is not stored). The chaos layer
+// uses it to inject ErrWriteFailed; nil removes the hook.
+func (v *Volume) SetWriteFault(hook func(jobID string, slot int) error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.fault = hook
 }
 
 // NewVolume returns an empty checkpoint volume.
@@ -54,6 +71,11 @@ func (v *Volume) Save(jobID string, slot int, remaining timeslot.Hours) error {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if v.fault != nil {
+		if err := v.fault(jobID, slot); err != nil {
+			return err
+		}
+	}
 	rec := Record{JobID: jobID, Slot: slot, Remaining: remaining,
 		Resumptions: v.records[jobID].Resumptions}
 	v.records[jobID] = rec

@@ -11,12 +11,15 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/instances"
 	"repro/internal/job"
+	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
 
@@ -33,6 +36,29 @@ type Client struct {
 	// HistoryWindow bounds how much price history the price monitor
 	// uses (default: two months).
 	HistoryWindow timeslot.Hours
+	// Retry is the API fault-handling policy (zero value: the
+	// retry.Default budget of 4 attempts with capped exponential
+	// backoff and deterministic jitter).
+	Retry retry.Policy
+	// StallSlots bounds how long a spot job priced from *degraded*
+	// telemetry may sit without progress before the client distrusts
+	// the bid, cancels the request, and finishes on-demand (default
+	// DefaultStallSlots). Jobs priced from clean telemetry are never
+	// watched: legitimate idling is part of the persistent strategy.
+	StallSlots int
+
+	// lastGood caches the most recent successfully fetched F_π
+	// estimate per type: the price monitor's degraded-mode fallback
+	// when live history fetches exhaust their retry budget.
+	mu       sync.Mutex
+	lastGood map[instances.Type]cachedECDF
+}
+
+// cachedECDF is a price-monitor snapshot: the ECDF plus the slot it
+// was fetched at.
+type cachedECDF struct {
+	ecdf *dist.Empirical
+	slot int
 }
 
 // New returns a client for the region with a fresh checkpoint volume.
@@ -40,7 +66,47 @@ func New(region *cloud.Region) (*Client, error) {
 	if region == nil {
 		return nil, errors.New("client: nil region")
 	}
-	return &Client{Region: region, Volume: checkpoint.NewVolume(), HistoryWindow: DefaultHistoryWindow}, nil
+	return &Client{
+		Region:        region,
+		Volume:        checkpoint.NewVolume(),
+		HistoryWindow: DefaultHistoryWindow,
+		lastGood:      make(map[instances.Type]cachedECDF),
+	}, nil
+}
+
+// Telemetry annotates a Report with the degradation the client
+// absorbed while producing it — which faults fired, and whether the
+// run's F_π estimate was live or stale.
+type Telemetry struct {
+	// Stale reports that the price monitor served its last good ECDF
+	// because live history fetches exhausted their retry budget.
+	Stale bool
+	// ECDFAgeSlots is how many slots old the served estimate was at
+	// bid time (0 when live).
+	ECDFAgeSlots int
+	// FetchRetries counts transient PriceHistory failures absorbed by
+	// the retry policy.
+	FetchRetries int
+	// SubmitRetries counts transient submission failures absorbed.
+	SubmitRetries int
+	// RejectedQuotes counts history entries the price monitor
+	// discarded as invalid (non-positive or NaN — spot prices have a
+	// positive floor, so these can only be corruption).
+	RejectedQuotes int
+	// FellBackOnDemand reports the spot submission budget was
+	// exhausted and the job ran on-demand instead (§3.2's "default to
+	// on-demand" playbook applied to API failure).
+	FellBackOnDemand bool
+	// Stalled reports the stall watchdog fired: a bid priced from
+	// degraded telemetry made no progress for StallSlots, so the
+	// remainder of the job ran on-demand.
+	Stalled bool
+}
+
+// Degraded reports whether any degradation was observed at all.
+func (t Telemetry) Degraded() bool {
+	return t.Stale || t.FetchRetries > 0 || t.SubmitRetries > 0 ||
+		t.RejectedQuotes > 0 || t.FellBackOnDemand || t.Stalled
 }
 
 // Skip advances the region n slots without doing anything — used to
@@ -57,27 +123,89 @@ func (c *Client) Skip(n int) error {
 // Market builds the bid-calculator view of an instance type's market:
 // the ECDF of the price-monitor window plus the on-demand ceiling.
 func (c *Client) Market(t instances.Type) (core.Market, error) {
+	m, _, err := c.market(t)
+	return m, err
+}
+
+// market is Market plus the telemetry of the fetch: history fetches
+// retry transient faults under the client's policy, and when the
+// budget is exhausted the price monitor degrades to the last good
+// ECDF rather than failing the run.
+func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
+	var tel Telemetry
 	spec, err := instances.Lookup(t)
 	if err != nil {
-		return core.Market{}, err
+		return core.Market{}, tel, err
 	}
 	window := c.HistoryWindow
 	if window == 0 {
 		window = DefaultHistoryWindow
 	}
-	hist, err := c.Region.PriceHistory(t, window)
-	if err != nil {
-		return core.Market{}, err
+	slot := timeslot.Hours(float64(c.Region.Grid().Slot))
+	var ecdf *dist.Empirical
+	st, ferr := c.Retry.Do("price-history", func() error {
+		hist, err := c.Region.PriceHistory(t, window)
+		if err != nil {
+			return err
+		}
+		// Spot prices have a positive floor, so non-positive (or NaN)
+		// quotes can only be corruption: discard them rather than let a
+		// single zero drag the ψ-optimum to a degenerate bid. The
+		// filtered path is only taken when something was actually
+		// rejected, keeping the clean path bit-identical.
+		rejected := 0
+		for _, p := range hist.Prices {
+			if !(p > 0) {
+				rejected++
+			}
+		}
+		var e *dist.Empirical
+		if rejected == 0 {
+			e, err = hist.ECDF(0)
+		} else {
+			valid := make([]float64, 0, len(hist.Prices)-rejected)
+			for _, p := range hist.Prices {
+				if p > 0 {
+					valid = append(valid, p)
+				}
+			}
+			if len(valid) == 0 {
+				return retry.Transient(errors.New("client: price history contains no valid quotes"))
+			}
+			e, err = dist.NewEmpirical(valid, 0)
+		}
+		if err != nil {
+			// A degraded feed can in principle deliver an unusable
+			// window; treat it like a failed fetch and retry.
+			return retry.Transient(err)
+		}
+		tel.RejectedQuotes += rejected
+		ecdf = e
+		return nil
+	})
+	tel.FetchRetries = st.Retries()
+	if ferr != nil {
+		if !retry.IsTransient(ferr) {
+			return core.Market{}, tel, ferr
+		}
+		// Budget exhausted: fall back on the last good estimate.
+		c.mu.Lock()
+		cached, ok := c.lastGood[t]
+		c.mu.Unlock()
+		if !ok {
+			return core.Market{}, tel, ferr
+		}
+		tel.Stale = true
+		tel.ECDFAgeSlots = c.Region.Now() - cached.slot
+		return core.Market{Price: cached.ecdf, OnDemand: spec.OnDemand, Slot: slot}, tel, nil
 	}
-	ecdf, err := hist.ECDF(0)
-	if err != nil {
-		return core.Market{}, err
+	c.mu.Lock()
+	if c.lastGood == nil { // zero-value Client, constructed without New
+		c.lastGood = make(map[instances.Type]cachedECDF)
 	}
-	return core.Market{
-		Price:    ecdf,
-		OnDemand: spec.OnDemand,
-		Slot:     timeslot.Hours(float64(c.Region.Grid().Slot)),
-	}, nil
+	c.lastGood[t] = cachedECDF{ecdf: ecdf, slot: c.Region.Now()}
+	c.mu.Unlock()
+	return core.Market{Price: ecdf, OnDemand: spec.OnDemand, Slot: slot}, tel, nil
 }
 
 // Report pairs the model's predictions with the measured outcome of
@@ -93,12 +221,16 @@ type Report struct {
 	Analytic core.Bid
 	// Outcome is what actually happened on the simulated cloud.
 	Outcome job.Outcome
+	// Telemetry records the degradation absorbed during the run
+	// (stale price estimates, retries, on-demand fallback). Zero on a
+	// fault-free substrate.
+	Telemetry Telemetry
 }
 
 // RunOneTime prices the job with Prop. 4 and runs it on a one-time
 // spot request.
 func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
-	m, err := c.Market(spec.Type)
+	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
 	}
@@ -106,13 +238,13 @@ func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	return c.runSpot("one-time", spec, bid, cloud.OneTime)
+	return c.runSpot("one-time", spec, bid, cloud.OneTime, tel)
 }
 
 // RunPersistent prices the job with Prop. 5 and runs it on a
 // persistent spot request.
 func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
-	m, err := c.Market(spec.Type)
+	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
 	}
@@ -120,13 +252,13 @@ func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	return c.runSpot("persistent", spec, bid, cloud.Persistent)
+	return c.runSpot("persistent", spec, bid, cloud.Persistent, tel)
 }
 
 // RunPercentile bids the q-th percentile of the observed prices — the
 // §7.1 "bid the 90th percentile" baseline.
 func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind) (Report, error) {
-	m, err := c.Market(spec.Type)
+	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
 	}
@@ -138,14 +270,13 @@ func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind)
 	if err != nil {
 		return Report{}, err
 	}
-	rep, err := c.runSpot(fmt.Sprintf("percentile-%g", q), spec, analytic, kind)
-	return rep, err
+	return c.runSpot(fmt.Sprintf("percentile-%g", q), spec, analytic, kind, tel)
 }
 
 // RunFixedBid runs the job at an explicit bid price (e.g. the
 // best-offline-in-retrospect baseline).
 func (c *Client) RunFixedBid(name string, spec job.Spec, price float64, kind cloud.RequestKind) (Report, error) {
-	m, err := c.Market(spec.Type)
+	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
 	}
@@ -153,7 +284,7 @@ func (c *Client) RunFixedBid(name string, spec job.Spec, price float64, kind clo
 	if err != nil {
 		return Report{}, err
 	}
-	return c.runSpot(name, spec, analytic, kind)
+	return c.runSpot(name, spec, analytic, kind, tel)
 }
 
 // eval computes the analytic Bid fields for an arbitrary price.
@@ -161,12 +292,18 @@ func (c *Client) eval(m core.Market, spec job.Spec, price float64, kind cloud.Re
 	j := core.Job{Exec: spec.Exec, Recovery: spec.Recovery}
 	if kind == cloud.Persistent {
 		b, err := m.EvalPersistent(price, j)
-		if err == nil {
+		switch {
+		case err == nil:
 			return b, nil
+		case errors.Is(err, core.ErrInfeasible):
+			// Infeasible at this price: report the raw price with no
+			// predictions rather than refusing to run the baseline.
+			return core.Bid{Price: price}, nil
+		default:
+			// Anything else (bad market, invalid job spec) is a real
+			// error, not a property of the bid — propagate.
+			return core.Bid{}, err
 		}
-		// Infeasible at this price: report the raw price with no
-		// predictions rather than refusing to run the baseline.
-		return core.Bid{Price: price}, nil
 	}
 	return m.EvalOneTime(price, j)
 }
@@ -185,14 +322,153 @@ func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
 	return Report{Strategy: "on-demand", Outcome: out}, nil
 }
 
-func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind) (Report, error) {
-	tracker, err := job.NewSpotJob(c.Region, c.Volume, spec, analytic.Price, kind)
+func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind, tel Telemetry) (Report, error) {
+	// Degrade gracefully via the existing on-demand path (§3.2's
+	// playbook). The strategy keeps its name; Telemetry records the
+	// substitution, and BidPrice stays 0 — no bid was ever placed.
+	fallback := func() (Report, error) {
+		rep, err := c.RunOnDemand(spec)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Strategy = strategy
+		rep.Analytic = analytic
+		tel.FellBackOnDemand = true
+		rep.Telemetry = tel
+		return rep, nil
+	}
+	if !(analytic.Price > 0) {
+		// Degraded or corrupted telemetry can push the computed
+		// optimum to a degenerate (non-positive) bid the cloud would
+		// reject; a bid that can never run is as good as no bid.
+		return fallback()
+	}
+	tracker, err := c.submitSpot(spec, analytic.Price, kind, &tel)
+	if err != nil {
+		if !retry.IsTransient(err) {
+			return Report{}, err
+		}
+		// Submission budget exhausted.
+		return fallback()
+	}
+	out, err := c.superviseSpot(tracker, spec, &tel)
 	if err != nil {
 		return Report{}, err
 	}
-	out, err := job.Run(c.Region, tracker)
-	if err != nil {
-		return Report{}, err
+	return Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out, Telemetry: tel}, nil
+}
+
+// DefaultStallSlots is the stall watchdog's default window: four hours
+// of five-minute slots with zero progress before a degraded-telemetry
+// bid is abandoned.
+const DefaultStallSlots = 48
+
+// superviseSpot runs the submitted job to completion. Jobs priced from
+// clean telemetry take the plain job.Run path — bit-identical to a
+// client with no chaos layer at all. Jobs priced from degraded
+// telemetry get a stall watchdog: corrupted quotes can produce a bid
+// below the real price floor, which the market never serves, so a job
+// with no progress for StallSlots cancels its request and finishes
+// on-demand (§3.2's completion-control playbook).
+func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemetry) (job.Outcome, error) {
+	if !tel.Degraded() {
+		return job.Run(c.Region, tracker)
 	}
-	return Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out}, nil
+	stall := c.StallSlots
+	if stall <= 0 {
+		stall = DefaultStallSlots
+	}
+	idle := 0
+	for !tracker.Done() {
+		if err := c.Region.Tick(); err != nil {
+			if errors.Is(err, cloud.ErrEndOfTrace) {
+				return tracker.Outcome(), nil
+			}
+			return job.Outcome{}, err
+		}
+		if err := tracker.Observe(); err != nil {
+			return job.Outcome{}, err
+		}
+		if s := tracker.Status(); s == job.Pending || s == job.Idle {
+			idle++
+		} else {
+			idle = 0
+		}
+		if idle < stall || tracker.Done() {
+			continue
+		}
+		// Stalled: release the request first — an uncancelled request
+		// could still launch later and bill alongside the fallback. If
+		// even the cancellation budget is exhausted, keep supervising
+		// and try again a window later rather than risk paying twice.
+		req := tracker.Request()
+		if req != nil {
+			if _, err := c.Retry.Do("cancel", func() error {
+				return c.Region.CancelSpotRequest(req.ID)
+			}); err != nil {
+				if !retry.IsTransient(err) {
+					return job.Outcome{}, err
+				}
+				idle = 0
+				continue
+			}
+		}
+		tel.Stalled = true
+		tel.FellBackOnDemand = true
+		spot := tracker.Outcome()
+		remaining := tracker.Remaining()
+		if spot.RunTime > 0 {
+			// The fallback instance must restore checkpointed state.
+			remaining += spec.Recovery
+		}
+		fbSpec := spec
+		fbSpec.ID = spec.ID + "-stall-fallback"
+		fbSpec.Exec = remaining
+		fbSpec.Recovery = 0 // on-demand never gets interrupted
+		fb, err := job.NewOnDemandJob(c.Region, fbSpec)
+		if err != nil {
+			return job.Outcome{}, err
+		}
+		fbOut, err := job.Run(c.Region, fb)
+		if err != nil {
+			return job.Outcome{}, err
+		}
+		return mergeOutcomes(spot, fbOut), nil
+	}
+	return tracker.Outcome(), nil
+}
+
+// mergeOutcomes combines a partial spot phase with its on-demand
+// completion into one bill.
+func mergeOutcomes(a, b job.Outcome) job.Outcome {
+	out := job.Outcome{
+		Completed:          b.Completed,
+		Completion:         a.Completion + b.Completion,
+		RunTime:            a.RunTime + b.RunTime,
+		IdleTime:           a.IdleTime + b.IdleTime,
+		RecoveryTime:       a.RecoveryTime + b.RecoveryTime,
+		Interruptions:      a.Interruptions + b.Interruptions,
+		Cost:               a.Cost + b.Cost,
+		CheckpointFailures: a.CheckpointFailures + b.CheckpointFailures,
+	}
+	if run := float64(out.RunTime); run > 0 {
+		out.PricePerRunHour = out.Cost / run
+	}
+	return out
+}
+
+// submitSpot submits the job's spot request, retrying transient
+// (chaos-injected) API failures under the client's policy.
+func (c *Client) submitSpot(spec job.Spec, bid float64, kind cloud.RequestKind, tel *Telemetry) (*job.Tracker, error) {
+	var tracker *job.Tracker
+	st, err := c.Retry.Do("submit", func() error {
+		tk, err := job.NewSpotJob(c.Region, c.Volume, spec, bid, kind)
+		if err != nil {
+			return err
+		}
+		tracker = tk
+		return nil
+	})
+	tel.SubmitRetries += st.Retries()
+	return tracker, err
 }

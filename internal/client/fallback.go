@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
 
@@ -31,10 +32,12 @@ type FallbackReport struct {
 }
 
 // Savings reports the relative cost reduction versus running the
-// whole job on-demand.
+// whole job on-demand. A baseline that isn't positive — zero or
+// negative price, zero or negative execution time, or any NaN — has
+// no meaningful savings and reports 0 rather than ±Inf or NaN.
 func (f FallbackReport) Savings(onDemandPrice float64, exec timeslot.Hours) float64 {
 	base := onDemandPrice * float64(exec)
-	if base == 0 {
+	if !(base > 0) {
 		return 0
 	}
 	return 1 - f.TotalCost/base
@@ -47,7 +50,7 @@ func (f FallbackReport) Savings(onDemandPrice float64, exec timeslot.Hours) floa
 // gets a hard completion guarantee and keeps the spot discount on the
 // fraction of the job that ran before the interruption.
 func (c *Client) RunOneTimeWithFallback(spec job.Spec) (FallbackReport, error) {
-	m, err := c.Market(spec.Type)
+	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return FallbackReport{}, err
 	}
@@ -55,16 +58,33 @@ func (c *Client) RunOneTimeWithFallback(spec job.Spec) (FallbackReport, error) {
 	if err != nil {
 		return FallbackReport{}, err
 	}
-	tracker, err := job.NewSpotJob(c.Region, c.Volume, spec, bid.Price, cloud.OneTime)
+	tracker, err := c.submitSpot(spec, bid.Price, cloud.OneTime, &tel)
 	if err != nil {
-		return FallbackReport{}, err
+		if !retry.IsTransient(err) {
+			return FallbackReport{}, err
+		}
+		// Submission budget exhausted: skip the spot phase entirely
+		// and run the whole job on the on-demand fallback.
+		tel.FellBackOnDemand = true
+		odRep, err := c.RunOnDemand(spec)
+		if err != nil {
+			return FallbackReport{}, err
+		}
+		return FallbackReport{
+			Spot:       Report{Strategy: "one-time+fallback", Analytic: bid, Telemetry: tel},
+			FellBack:   true,
+			OnDemand:   odRep.Outcome,
+			TotalCost:  odRep.Outcome.Cost,
+			Completion: odRep.Outcome.Completion,
+			Completed:  odRep.Outcome.Completed,
+		}, nil
 	}
 	out, err := job.Run(c.Region, tracker)
 	if err != nil {
 		return FallbackReport{}, err
 	}
 	rep := FallbackReport{
-		Spot:       Report{Strategy: "one-time+fallback", BidPrice: bid.Price, Analytic: bid, Outcome: out},
+		Spot:       Report{Strategy: "one-time+fallback", BidPrice: bid.Price, Analytic: bid, Outcome: out, Telemetry: tel},
 		TotalCost:  out.Cost,
 		Completion: out.Completion,
 		Completed:  out.Completed,

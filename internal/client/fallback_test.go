@@ -1,6 +1,7 @@
 package client
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cloud"
@@ -130,5 +131,91 @@ func TestFallbackEarlySpikeMostlyOnDemand(t *testing.T) {
 func TestFallbackSavingsZeroBase(t *testing.T) {
 	if (FallbackReport{TotalCost: 1}).Savings(0, 1) != 0 {
 		t.Error("zero baseline should yield zero savings")
+	}
+}
+
+// TestFallbackSavingsGuards: every degenerate baseline — zero or
+// negative price, zero or negative execution time, NaN either way —
+// reports 0, never ±Inf or NaN.
+func TestFallbackSavingsGuards(t *testing.T) {
+	rep := FallbackReport{TotalCost: 0.1}
+	cases := []struct {
+		name  string
+		price float64
+		exec  timeslot.Hours
+	}{
+		{"zero-price", 0, 1},
+		{"negative-price", -0.35, 1},
+		{"zero-exec", 0.35, 0},
+		{"negative-exec", 0.35, -1},
+		{"both-zero", 0, 0},
+		{"nan-price", math.NaN(), 1},
+		{"nan-exec", 0.35, timeslot.Hours(math.NaN())},
+	}
+	for _, tc := range cases {
+		if got := rep.Savings(tc.price, tc.exec); got != 0 {
+			t.Errorf("%s: Savings = %v, want 0", tc.name, got)
+		}
+	}
+	// Sanity: a healthy baseline still reports real savings.
+	if got := rep.Savings(0.35, 1); !(got > 0 && got < 1) {
+		t.Errorf("healthy baseline: Savings = %v", got)
+	}
+}
+
+// TestFallbackTraceEndsMidFallback: the spike fails the one-time
+// request near the end of the trace, so the on-demand fallback phase
+// itself runs out of price history before finishing. That is not an
+// error — the report says FellBack with Completed == false, and the
+// bill covers only what actually ran.
+func TestFallbackTraceEndsMidFallback(t *testing.T) {
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 63, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the two-month history plus a short tail: the spot phase runs
+	// a few slots, the spike kills it, and only ~4 slots remain for the
+	// fallback — far short of the remaining work.
+	start := 61 * 288
+	prices := append([]float64(nil), tr.Prices[:start+10]...)
+	for i := start; i < start+10; i++ {
+		prices[i] = 0.0301
+	}
+	prices[start+5] = 0.34
+	tr2, err := trace.New(tr.Type, tr.Grid, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Skip(start); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunOneTimeWithFallback(fbSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FellBack {
+		t.Fatal("expected the on-demand fallback to start")
+	}
+	if rep.Completed || rep.OnDemand.Completed {
+		t.Fatal("job cannot complete on a truncated trace")
+	}
+	if rep.OnDemand.Cost <= 0 {
+		t.Error("fallback phase ran some slots but billed nothing")
+	}
+	if rep.TotalCost != rep.Spot.Outcome.Cost+rep.OnDemand.Cost {
+		t.Errorf("TotalCost %v != spot %v + on-demand %v",
+			rep.TotalCost, rep.Spot.Outcome.Cost, rep.OnDemand.Cost)
+	}
+	if got := rep.Savings(0.35, 1); !(got > 0 && got < 1) {
+		// Partial bills are still below the full on-demand baseline.
+		t.Errorf("partial-run savings = %v", got)
 	}
 }

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// stallClient builds a client over a flat trace whose price sits above
+// the probe bid forever: a spot request at that bid never launches.
+func stallClient(t *testing.T, slots int) *Client {
+	t.Helper()
+	prices := make([]float64, slots)
+	for i := range prices {
+		prices[i] = 0.10
+	}
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var stallSpec = job.Spec{ID: "stall", Type: instances.R3XLarge, Exec: 0.5, Recovery: timeslot.Seconds(30)}
+
+// TestStallWatchdogFallsBack: a bid priced from degraded telemetry
+// that the market never serves is abandoned after StallSlots and the
+// job completes on-demand, with the idle wait on the bill's clock.
+func TestStallWatchdogFallsBack(t *testing.T) {
+	c := stallClient(t, 200)
+	tel := Telemetry{RejectedQuotes: 3} // degraded: watchdog armed
+	rep, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0.05}, cloud.Persistent, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Telemetry.Stalled || !rep.Telemetry.FellBackOnDemand {
+		t.Fatalf("telemetry %+v: watchdog did not fire", rep.Telemetry)
+	}
+	if !rep.Outcome.Completed {
+		t.Fatal("stalled job did not complete on-demand")
+	}
+	// Cost: only the on-demand phase billed (the spot request never ran).
+	want := 0.35 * 0.5
+	if diff := rep.Outcome.Cost - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost %v, want %v", rep.Outcome.Cost, want)
+	}
+	// Completion includes the full stall window.
+	slotH := float64(timeslot.DefaultSlot)
+	if got := float64(rep.Outcome.Completion); got < float64(DefaultStallSlots)*slotH {
+		t.Errorf("completion %vh does not cover the %d-slot stall window", got, DefaultStallSlots)
+	}
+	if rep.Outcome.RunTime != timeslot.Hours(0.5) {
+		t.Errorf("run time %v, want 0.5h of on-demand work", float64(rep.Outcome.RunTime))
+	}
+}
+
+// TestStallWatchdogOffWhenClean: the same unservable bid with clean
+// telemetry is NOT abandoned — legitimate idling is part of the
+// persistent strategy, and the watchdog must not change fault-free
+// behavior.
+func TestStallWatchdogOffWhenClean(t *testing.T) {
+	c := stallClient(t, 200)
+	rep, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0.05}, cloud.Persistent, Telemetry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry.Stalled || rep.Telemetry.FellBackOnDemand {
+		t.Fatalf("telemetry %+v: watchdog fired on clean telemetry", rep.Telemetry)
+	}
+	if rep.Outcome.Completed {
+		t.Fatal("job cannot complete: the bid is below every price")
+	}
+	if rep.Outcome.Cost != 0 {
+		t.Errorf("never-launched job billed %v", rep.Outcome.Cost)
+	}
+}
+
+// TestStallWatchdogMidJob: a job interrupted mid-run that then idles
+// past the window is also abandoned; the on-demand phase pays one
+// extra recovery to restore the checkpoint, and both phases appear on
+// the bill.
+func TestStallWatchdogMidJob(t *testing.T) {
+	// Cheap for 3 slots, then expensive forever: the job runs 15 min,
+	// is out-bid, and never resumes.
+	prices := make([]float64, 200)
+	for i := range prices {
+		if i < 3 {
+			prices[i] = 0.03
+		} else {
+			prices[i] = 0.10
+		}
+	}
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := Telemetry{FetchRetries: 1}
+	rep, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0.05}, cloud.Persistent, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Telemetry.Stalled || !rep.Outcome.Completed {
+		t.Fatalf("stalled=%v completed=%v", rep.Telemetry.Stalled, rep.Outcome.Completed)
+	}
+	if rep.Outcome.Interruptions != 1 {
+		t.Errorf("interruptions = %d, want 1", rep.Outcome.Interruptions)
+	}
+	// Spot phase billed at 0.03 plus an on-demand remainder at 0.35.
+	if rep.Outcome.Cost <= 0.35*float64(stallSpec.Exec)*0.5 {
+		t.Errorf("cost %v implausibly low for a mostly-on-demand run", rep.Outcome.Cost)
+	}
+	if rep.Outcome.RunTime <= stallSpec.Exec {
+		t.Errorf("run time %v should exceed exec: redone work + recovery", float64(rep.Outcome.RunTime))
+	}
+}

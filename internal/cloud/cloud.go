@@ -199,6 +199,11 @@ type Region struct {
 
 	billing      BillingMode
 	slotsPerHour int // set when billing == Hourly
+
+	inj FaultInjector // nil: fault-free (see fault.go)
+	// pendingTerm maps request IDs whose out-bid notice is delayed to
+	// the slot the termination lands.
+	pendingTerm map[string]int
 }
 
 // NewRegion builds a region serving the given price traces (one per
@@ -209,11 +214,12 @@ func NewRegion(traces ...*trace.Trace) (*Region, error) {
 	}
 	grid := traces[0].Grid
 	r := &Region{
-		clock:    timeslot.NewClock(grid),
-		traces:   make(map[instances.Type]*trace.Trace, len(traces)),
-		requests: make(map[string]*SpotRequest),
-		insts:    make(map[string]*Instance),
-		horizon:  traces[0].Len(),
+		clock:       timeslot.NewClock(grid),
+		traces:      make(map[instances.Type]*trace.Trace, len(traces)),
+		requests:    make(map[string]*SpotRequest),
+		insts:       make(map[string]*Instance),
+		horizon:     traces[0].Len(),
+		pendingTerm: make(map[string]int),
 	}
 	for _, tr := range traces {
 		if tr.Grid != grid {
@@ -256,11 +262,21 @@ func (r *Region) PriceHistory(t instances.Type, h timeslot.Hours) (*trace.Trace,
 	if !ok {
 		return nil, fmt.Errorf("cloud: no spot market for %s", t)
 	}
+	if err := r.apiFault(OpPriceHistory); err != nil {
+		return nil, err
+	}
 	hist, err := tr.Window(0, r.clock.Now()+1)
 	if err != nil {
 		return nil, err
 	}
-	return hist.LastHours(h)
+	out, err := hist.LastHours(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.inj != nil {
+		out = r.inj.DegradeHistory(out, r.clock.Now())
+	}
+	return out, nil
 }
 
 // Events returns the event log (shared; callers must not modify).
@@ -307,6 +323,9 @@ func (r *Region) RequestSpotInstances(t instances.Type, bid float64, kind Reques
 	if count < 1 {
 		return nil, fmt.Errorf("cloud: request count %d must be at least 1", count)
 	}
+	if err := r.apiFault(OpSubmit); err != nil {
+		return nil, err
+	}
 	out := make([]*SpotRequest, count)
 	for i := range out {
 		r.nextReq++
@@ -335,13 +354,21 @@ func (r *Region) CancelSpotRequest(id string) error {
 	switch req.State {
 	case Closed, Cancelled:
 		return fmt.Errorf("cloud: request %s already %s", id, req.State)
-	case Active:
-		if err := r.TerminateInstance(req.InstanceID); err != nil {
+	}
+	if err := r.apiFault(OpCancel); err != nil {
+		return err
+	}
+	if req.State == Active {
+		inst, err := r.Instance(req.InstanceID)
+		if err != nil {
 			return err
 		}
-		// TerminateInstance moved a persistent request back to Open
-		// (or closed a one-time); override: the user cancelled.
+		if inst.Running {
+			r.terminate(inst)
+		}
+		// terminate closed the request; override: the user cancelled.
 	}
+	delete(r.pendingTerm, id)
 	req.State = Cancelled
 	r.events = append(r.events, Event{Slot: r.clock.Now(), Kind: EvCancel, RequestID: id})
 	return nil
@@ -377,16 +404,26 @@ func (r *Region) TerminateInstance(id string) error {
 	if !inst.Running {
 		return fmt.Errorf("cloud: instance %s already terminated", id)
 	}
+	if err := r.apiFault(OpTerminate); err != nil {
+		return err
+	}
+	r.terminate(inst)
+	return nil
+}
+
+// terminate performs the user-initiated termination of a running
+// instance — the fault-checked entry points above delegate here.
+func (r *Region) terminate(inst *Instance) {
 	inst.Running = false
 	inst.TerminatedSlot = r.clock.Now()
 	r.settlePartialHour(inst, false)
 	if inst.RequestID != "" {
+		delete(r.pendingTerm, inst.RequestID)
 		if req, ok := r.requests[inst.RequestID]; ok && req.State == Active {
 			req.State = Closed
 		}
 	}
-	r.events = append(r.events, Event{Slot: r.clock.Now(), Kind: EvUserTerminate, RequestID: inst.RequestID, InstanceID: id})
-	return nil
+	r.events = append(r.events, Event{Slot: r.clock.Now(), Kind: EvUserTerminate, RequestID: inst.RequestID, InstanceID: inst.ID})
 }
 
 // Tick advances the region one slot and settles the market: out-bid
@@ -405,22 +442,27 @@ func (r *Region) Tick() error {
 			continue
 		}
 		price := r.traces[req.Type].At(slot)
+		if due, pending := r.pendingTerm[id]; pending {
+			// A delayed out-bid notice is in flight: the instance
+			// keeps running — and billing — until it lands, wherever
+			// the price moves meanwhile (EC2's two-minute warning).
+			if slot < due {
+				continue
+			}
+			delete(r.pendingTerm, id)
+			r.outbid(req, slot, price)
+			continue
+		}
 		if req.Bid >= price {
 			continue
 		}
-		inst := r.insts[req.InstanceID]
-		inst.Running = false
-		inst.TerminatedSlot = slot
-		inst.ProviderTerminated = true
-		r.settlePartialHour(inst, true)
-		req.Interruptions++
-		switch req.Kind {
-		case Persistent:
-			req.State = Open // back to pending (Fig. 2)
-		case OneTime:
-			req.State = Closed // exits the system
+		if r.inj != nil {
+			if d := r.inj.OutbidDelay(slot); d > 0 {
+				r.pendingTerm[id] = slot + d
+				continue
+			}
 		}
-		r.events = append(r.events, Event{Slot: slot, Kind: EvOutbid, RequestID: id, InstanceID: inst.ID, Price: price})
+		r.outbid(req, slot, price)
 	}
 
 	// 2. Launch open requests that now clear the price.
@@ -432,6 +474,9 @@ func (r *Region) Tick() error {
 		price := r.traces[req.Type].At(slot)
 		if req.Bid < price {
 			continue
+		}
+		if r.inj != nil && r.inj.LaunchBlocked(req.Type, slot) {
+			continue // capacity outage: stays pending above the price
 		}
 		r.nextInst++
 		inst := &Instance{
@@ -463,4 +508,23 @@ func (r *Region) Tick() error {
 		}
 	}
 	return nil
+}
+
+// outbid executes a provider termination of req's instance at slot:
+// the bid fell below price (possibly some slots ago, when the notice
+// was delayed).
+func (r *Region) outbid(req *SpotRequest, slot int, price float64) {
+	inst := r.insts[req.InstanceID]
+	inst.Running = false
+	inst.TerminatedSlot = slot
+	inst.ProviderTerminated = true
+	r.settlePartialHour(inst, true)
+	req.Interruptions++
+	switch req.Kind {
+	case Persistent:
+		req.State = Open // back to pending (Fig. 2)
+	case OneTime:
+		req.State = Closed // exits the system
+	}
+	r.events = append(r.events, Event{Slot: slot, Kind: EvOutbid, RequestID: req.ID, InstanceID: inst.ID, Price: price})
 }

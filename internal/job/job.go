@@ -18,6 +18,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cloud"
 	"repro/internal/instances"
+	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
 
@@ -103,6 +104,10 @@ type Outcome struct {
 	// PricePerRunHour is Cost divided by the billed running time —
 	// the "price charged per hour" of Fig. 6(a).
 	PricePerRunHour float64
+	// CheckpointFailures counts interruption-time checkpoint writes
+	// that were lost (chaos-injected); each one forces the job to
+	// redo work from an older checkpoint, or from scratch.
+	CheckpointFailures int
 }
 
 // Tracker advances one job against a region. Create it with
@@ -126,6 +131,7 @@ type Tracker struct {
 
 	runSlots, idleSlots int
 	recovery            timeslot.Hours
+	ckptFailures        int
 }
 
 // NewSpotJob submits a spot request for the job at the given bid.
@@ -207,8 +213,15 @@ func (t *Tracker) Observe() error {
 		// Pending or interrupted: detect a fresh interruption.
 		if t.status == Running {
 			// The provider killed the instance this slot: save state.
+			// A lost write (chaos-injected ErrWriteFailed) is survivable
+			// — the previous checkpoint, if any, stays good and the job
+			// will redo the work done since; anything else is a real
+			// tracker bug and propagates.
 			if err := t.volume.Save(t.spec.ID, t.region.Now(), t.remaining); err != nil {
-				return err
+				if !errors.Is(err, checkpoint.ErrWriteFailed) {
+					return err
+				}
+				t.ckptFailures++
 			}
 			t.needRestore = true
 			if t.req != nil && t.req.Kind == cloud.OneTime {
@@ -227,10 +240,18 @@ func (t *Tracker) Observe() error {
 
 	// Running this slot.
 	if t.needRestore {
-		// Resuming after an interruption: restore and pay t_r.
-		if _, ok := t.volume.Restore(t.spec.ID); ok {
+		// Resuming after an interruption: the in-memory state died
+		// with the instance, so progress is whatever the volume holds.
+		// With every write durable that is exactly the remaining work
+		// at interruption; after a lost write it is an older
+		// checkpoint (redo the gap), and with no checkpoint at all the
+		// job starts over.
+		if rec, ok := t.volume.Restore(t.spec.ID); ok {
+			t.remaining = rec.Remaining
 			t.pendingRec += t.spec.Recovery
 			t.recovery += t.spec.Recovery
+		} else {
+			t.remaining = t.spec.Exec
 		}
 		t.needRestore = false
 	}
@@ -255,13 +276,32 @@ func (t *Tracker) Observe() error {
 		t.status = Done
 		t.finished = t.region.Now()
 		t.volume.Delete(t.spec.ID)
-		// Release the resources.
-		if t.onDemand != nil {
-			return t.region.TerminateInstance(t.onDemand.ID)
-		}
-		return t.region.CancelSpotRequest(t.req.ID)
+		return t.release()
 	}
 	return nil
+}
+
+// releaseAttempts bounds the immediate retries of the resource release
+// at completion. A leaked instance keeps billing, so the tracker tries
+// hard; at any sane injected fault rate p the chance of p^8 back-to-
+// back failures is negligible.
+const releaseAttempts = 8
+
+// release returns the job's resources to the region, retrying
+// transient (chaos-injected) API failures immediately.
+func (t *Tracker) release() error {
+	var err error
+	for i := 0; i < releaseAttempts; i++ {
+		if t.onDemand != nil {
+			err = t.region.TerminateInstance(t.onDemand.ID)
+		} else {
+			err = t.region.CancelSpotRequest(t.req.ID)
+		}
+		if err == nil || !retry.IsTransient(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // Outcome summarizes the job. Valid once Done() is true; calling it
@@ -289,13 +329,14 @@ func (t *Tracker) Outcome() Outcome {
 	}
 	run := float64(t.runSlots) * slotHours
 	out := Outcome{
-		Completed:     t.status == Done,
-		Completion:    timeslot.Hours(float64(end-t.submitted) * slotHours),
-		RunTime:       timeslot.Hours(run),
-		IdleTime:      timeslot.Hours(float64(t.idleSlots) * slotHours),
-		RecoveryTime:  t.recovery,
-		Interruptions: interruptions,
-		Cost:          cost,
+		Completed:          t.status == Done,
+		Completion:         timeslot.Hours(float64(end-t.submitted) * slotHours),
+		RunTime:            timeslot.Hours(run),
+		IdleTime:           timeslot.Hours(float64(t.idleSlots) * slotHours),
+		RecoveryTime:       t.recovery,
+		Interruptions:      interruptions,
+		Cost:               cost,
+		CheckpointFailures: t.ckptFailures,
 	}
 	if run > 0 {
 		out.PricePerRunHour = cost / run

@@ -1,0 +1,173 @@
+// Package retry implements the client runtime's fault-handling
+// policy: typed transient-vs-permanent errors and a capped exponential
+// backoff with deterministic jitter and per-operation attempt budgets.
+// The paper's client ran against real EC2, where
+// DescribeSpotPriceHistory and RequestSpotInstances fail transiently;
+// the reproduction's chaos layer (internal/chaos) injects the same
+// failures, and this package is how the client absorbs them.
+//
+// Backoff delays are computed and recorded but not slept by default:
+// the simulator advances time in five-minute pricing slots, and an API
+// retry resolves well within one slot. A Policy.Sleep hook restores
+// wall-clock sleeping for callers that want it.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// permanentError marks an error as not retryable, overriding any
+// transient marker deeper in the chain.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true. A nil err returns
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// Permanent wraps err so IsTransient reports false even if a wrapped
+// error was marked transient. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsTransient reports whether err is marked retryable. The outermost
+// marker wins: Permanent(Transient(err)) is permanent. Unmarked errors
+// are permanent — retrying an error of unknown cause risks repeating a
+// side effect.
+func IsTransient(err error) bool {
+	for err != nil {
+		switch err.(type) {
+		case *transientError:
+			return true
+		case *permanentError:
+			return false
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// ErrBudgetExhausted wraps the last transient error when a Policy runs
+// out of attempts.
+var ErrBudgetExhausted = errors.New("retry: attempt budget exhausted")
+
+// Policy is a capped exponential backoff with deterministic jitter.
+// The zero value is usable and equals Default().
+type Policy struct {
+	// Attempts is the per-operation budget, first try included
+	// (default 4).
+	Attempts int
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Cap bounds the per-retry delay (default 5s).
+	Cap time.Duration
+	// Seed drives the jitter deterministically (default 1).
+	Seed int64
+	// Sleep, when non-nil, is called with each backoff delay. Nil
+	// delays are recorded in Stats but not enacted — the simulated
+	// cloud resolves retries within a pricing slot.
+	Sleep func(time.Duration)
+}
+
+// Default returns the client runtime's standard policy.
+func Default() Policy {
+	return Policy{Attempts: 4, Base: 100 * time.Millisecond, Cap: 5 * time.Second, Seed: 1}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := Default()
+	if p.Attempts <= 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = d.Cap
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Stats reports what one Do call consumed.
+type Stats struct {
+	// Attempts is how many times fn ran (≥ 1 whenever fn ran at all).
+	Attempts int
+	// Backoff is the total backoff delay accrued between attempts.
+	Backoff time.Duration
+}
+
+// Retries reports the number of failed attempts that were retried.
+func (s Stats) Retries() int {
+	if s.Attempts <= 1 {
+		return 0
+	}
+	return s.Attempts - 1
+}
+
+// Do runs fn, retrying transient errors under the policy's budget. The
+// op string names the operation for jitter derivation and error
+// context. It returns the stats alongside fn's final error: nil on
+// success, the error itself when permanent, or an ErrBudgetExhausted
+// wrap (still marked transient) when the budget runs out.
+func (p Policy) Do(op string, fn func() error) (Stats, error) {
+	p = p.withDefaults()
+	var st Stats
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		st.Attempts++
+		err = fn()
+		if err == nil {
+			return st, nil
+		}
+		if !IsTransient(err) {
+			return st, err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		d := p.delay(op, attempt)
+		st.Backoff += d
+		if p.Sleep != nil {
+			p.Sleep(d)
+		}
+	}
+	return st, Transient(fmt.Errorf("%w: %s failed %d times: %w", ErrBudgetExhausted, op, st.Attempts, err))
+}
+
+// delay computes the attempt'th backoff: min(Cap, Base·2^attempt)
+// scaled by a deterministic jitter factor in [0.5, 1) derived from
+// (Seed, op, attempt). Same policy, op, and attempt — same delay, on
+// every run.
+func (p Policy) delay(op string, attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d <= 0 || d > p.Cap { // <<-overflow guards included
+		d = p.Cap
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", p.Seed, op, attempt)
+	frac := float64(h.Sum64()%1000)/2000 + 0.5 // [0.5, 1)
+	return time.Duration(float64(d) * frac)
+}

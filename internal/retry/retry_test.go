@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"unmarked", base, false},
+		{"transient", Transient(base), true},
+		{"permanent", Permanent(base), false},
+		{"outermost-permanent-wins", Permanent(Transient(base)), false},
+		{"outermost-transient-wins", Transient(Permanent(base)), true},
+		{"wrapped-transient", fmt.Errorf("ctx: %w", Transient(base)), true},
+		{"wrapped-permanent", fmt.Errorf("ctx: %w", Permanent(Transient(base))), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("wrapping nil must return nil")
+	}
+	// Markers are transparent to errors.Is.
+	if !errors.Is(Transient(base), base) || !errors.Is(Permanent(base), base) {
+		t.Error("markers must unwrap to the underlying error")
+	}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	st, err := Default().Do("op", func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || st.Attempts != 3 || st.Retries() != 2 {
+		t.Errorf("calls=%d attempts=%d retries=%d", calls, st.Attempts, st.Retries())
+	}
+	if st.Backoff <= 0 {
+		t.Error("no backoff recorded across two retries")
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	want := errors.New("bad request")
+	_, err := Default().Do("op", func() error {
+		calls++
+		return Permanent(want)
+	})
+	if calls != 1 {
+		t.Errorf("permanent error retried %d times", calls-1)
+	}
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v", err)
+	}
+	// Unmarked errors are permanent too.
+	calls = 0
+	_, err = Default().Do("op", func() error {
+		calls++
+		return want
+	})
+	if calls != 1 || !errors.Is(err, want) {
+		t.Errorf("unmarked: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoBudgetExhausted(t *testing.T) {
+	calls := 0
+	st, err := Policy{Attempts: 3}.Do("op", func() error {
+		calls++
+		return Transient(errors.New("still down"))
+	})
+	if calls != 3 || st.Attempts != 3 {
+		t.Errorf("calls=%d attempts=%d, want 3", calls, st.Attempts)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// The exhaustion wrap stays transient so outer layers can route it
+	// to a degradation path rather than treating it as fatal.
+	if !IsTransient(err) {
+		t.Error("exhaustion error lost its transient marker")
+	}
+}
+
+func TestDelayDeterministicJitteredCapped(t *testing.T) {
+	p := Default()
+	for attempt := 0; attempt < 10; attempt++ {
+		d1 := p.delay("op", attempt)
+		d2 := p.delay("op", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 > p.Cap {
+			t.Errorf("attempt %d: delay %v above cap %v", attempt, d1, p.Cap)
+		}
+		if d1 < p.Base/2 {
+			t.Errorf("attempt %d: delay %v below half the base", attempt, d1)
+		}
+	}
+	// Different seeds and different ops decorrelate the jitter.
+	alt := p
+	alt.Seed = 2
+	if p.delay("op", 0) == alt.delay("op", 0) && p.delay("op", 1) == alt.delay("op", 1) {
+		t.Error("seeds 1 and 2 produce identical jitter")
+	}
+	if p.delay("a", 0) == p.delay("b", 0) && p.delay("a", 1) == p.delay("b", 1) {
+		t.Error("ops a and b produce identical jitter")
+	}
+}
+
+func TestSleepHook(t *testing.T) {
+	var slept time.Duration
+	p := Default()
+	p.Sleep = func(d time.Duration) { slept += d }
+	st, err := p.Do("op", func() error { return Transient(errors.New("x")) })
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if slept != st.Backoff {
+		t.Errorf("slept %v, recorded %v", slept, st.Backoff)
+	}
+}
+
+func TestZeroPolicyEqualsDefault(t *testing.T) {
+	calls := 0
+	var p Policy
+	_, err := p.Do("op", func() error { calls++; return Transient(errors.New("x")) })
+	if calls != Default().Attempts {
+		t.Errorf("zero policy ran %d attempts, want %d", calls, Default().Attempts)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("err = %v", err)
+	}
+}

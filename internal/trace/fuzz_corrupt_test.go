@@ -1,0 +1,103 @@
+// External test package: the chaos corruption corpus lives in a
+// package that imports trace, so seeding from it here would otherwise
+// be an import cycle.
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// validCSV serializes a small well-formed history — the healthy input
+// every corruption is applied to.
+func validCSV(tb testing.TB, n int) []byte {
+	tb.Helper()
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = 0.03 + 0.001*float64(i%7)
+	}
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCSVCorrupted seeds the parser with realistic damage — every
+// corruption in the chaos corpus (truncated downloads, dropped and
+// duplicated rows, garbled prices and timestamps, flipped bits)
+// applied to a valid file at several seeds — then lets the fuzzer
+// mutate from there. The invariant matches FuzzReadCSV: corrupted
+// input is either rejected outright or parses to a trace that
+// round-trips through WriteCSV. Explore with
+// `go test -fuzz=FuzzReadCSVCorrupted ./internal/trace`.
+func FuzzReadCSVCorrupted(f *testing.F) {
+	base := validCSV(f, 12)
+	f.Add(string(base))
+	for ci, c := range chaos.CSVCorruptions {
+		rng := rand.New(rand.NewSource(int64(ci + 1)))
+		for i := 0; i < 4; i++ {
+			f.Add(string(c.Apply(rng, base)))
+		}
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := trace.ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		if tr.Len() == 0 {
+			t.Fatal("accepted an empty trace")
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace cannot serialize: %v", err)
+		}
+		back, err := trace.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), tr.Len())
+		}
+		for i := range tr.Prices {
+			if back.Prices[i] != tr.Prices[i] {
+				t.Fatalf("round trip changed price %d", i)
+			}
+		}
+	})
+}
+
+// TestReadCSVCorruptionCorpus runs the whole corpus many times over —
+// the deterministic version of the fuzz target, exercised on every
+// plain `go test` run.
+func TestReadCSVCorruptionCorpus(t *testing.T) {
+	base := validCSV(t, 40)
+	for ci, c := range chaos.CSVCorruptions {
+		rng := rand.New(rand.NewSource(int64(ci) * 997))
+		for i := 0; i < 200; i++ {
+			data := c.Apply(rng, base)
+			tr, err := trace.ReadCSV(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			if tr.Len() == 0 {
+				t.Fatalf("%s: accepted an empty trace", c.Name)
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteCSV(&buf); err != nil {
+				t.Fatalf("%s: accepted trace cannot serialize: %v", c.Name, err)
+			}
+		}
+	}
+}

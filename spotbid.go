@@ -35,6 +35,7 @@
 package spotbid
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/client"
 	"repro/internal/cloud"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/mapreduce"
 	"repro/internal/market"
+	"repro/internal/retry"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 	"repro/internal/workflow"
@@ -282,10 +284,42 @@ type (
 // NewWorkflow validates and builds a task DAG.
 var NewWorkflow = workflow.New
 
+// Fault injection (see internal/chaos) and the client's
+// fault-handling policy (see internal/retry).
+type (
+	// ChaosConfig selects fault types and rates; ChaosInjector is the
+	// seeded injector a Region and Volume are armed with; ChaosStats
+	// counts injected faults.
+	ChaosConfig   = chaos.Config
+	ChaosInjector = chaos.Injector
+	ChaosStats    = chaos.Stats
+	// RetryPolicy is the client's capped-exponential-backoff budget
+	// for transient API faults.
+	RetryPolicy = retry.Policy
+)
+
+// Chaos and retry constructors.
+var (
+	NewChaos     = chaos.New
+	UniformChaos = chaos.Uniform
+	DefaultRetry = retry.Default
+)
+
+// Transient and Permanent classify errors for the retry policy;
+// IsTransient queries the classification.
+var (
+	Transient   = retry.Transient
+	Permanent   = retry.Permanent
+	IsTransient = retry.IsTransient
+)
+
 // The bidding client (Fig. 1; see internal/client).
 type (
 	// Client glues price monitor, bid calculator, and job monitor.
 	Client = client.Client
+	// Telemetry records the degradation a run absorbed (stale
+	// estimates, retries, on-demand fallback).
+	Telemetry = client.Telemetry
 	// Report pairs analytic predictions with measured outcomes.
 	Report = client.Report
 	// MapReduceSpec and MapReduceReport are the parallel-job
