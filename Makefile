@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench
+.PHONY: all build test vet race race-obs check fuzz bench bench-json
 
 all: check
 
@@ -20,7 +20,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Focused race pass over the observability layer and every package it
+# instruments — fast feedback on the shared-registry paths before the
+# full suite runs.
+race-obs:
+	$(GO) test -race ./internal/obs/ ./internal/retry/ ./internal/checkpoint/ \
+		./internal/cloud/ ./internal/client/ ./internal/market/ \
+		./internal/trace/ ./internal/experiments/
+
+check: vet race-obs race
 
 # Short fuzz pass over both history-parser targets.
 fuzz:
@@ -29,3 +37,8 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Instrumented-vs-Noop overhead record (JSON): micro hot paths plus
+# the end-to-end Table 3 pair, whose overhead budget is < 5%.
+bench-json:
+	$(GO) run ./cmd/obsbench -out BENCH_obs.json

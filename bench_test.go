@@ -17,6 +17,7 @@ import (
 
 	spotbid "repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -35,6 +36,20 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table3(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Instrumented is BenchmarkTable3 with a live metrics
+// registry installed; the delta against BenchmarkTable3 is the
+// observability layer's end-to-end overhead, budgeted at < 5%
+// (measured precisely by `make bench-json` → BENCH_obs.json).
+func BenchmarkTable3Instrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts(i)
+		o.Metrics = obs.New()
+		if _, err := experiments.Table3(o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,16 +16,22 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "experiment seed")
-		runs = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
-		only = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,ablations")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		runs        = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
+		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,ablations")
+		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the experiments")
+		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON instead of a table (implies -metrics)")
 	)
 	flag.Parse()
 	opts := experiments.Opts{Seed: *seed, Runs: *runs}
+	if *metrics || *metricsJSON {
+		opts.Metrics = obs.New()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -103,6 +109,18 @@ func main() {
 		section("Ablation — billing model (paper's per-slot vs Amazon's hourly)", func() (interface{ Render() string }, error) {
 			return experiments.AblationBilling(opts)
 		})
+	}
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		if *metricsJSON {
+			js, err := snap.JSON()
+			if err != nil {
+				fatalf("rendering metrics JSON: %v", err)
+			}
+			fmt.Printf("== Metrics (JSON)\n\n%s\n", js)
+		} else {
+			fmt.Printf("== Metrics\n\n%s\n", snap.Render())
+		}
 	}
 }
 

@@ -1,0 +1,162 @@
+// Command obsbench measures the observability layer's overhead: each
+// hot-path operation is benchmarked twice — against the nil Noop
+// registry (the uninstrumented default every caller pays) and against
+// a live registry — plus the end-to-end Table 3 experiment both ways.
+// Results land in a JSON file (default BENCH_obs.json) so `make
+// bench-json` leaves a committed record and CI can assert the < 5%
+// end-to-end budget.
+//
+// Usage:
+//
+//	obsbench -out BENCH_obs.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Pair compares an operation against its uninstrumented baseline.
+// OverheadPct is (instrumented − noop)/noop in percent; for the
+// micro-benchmarks the noop side is a handful of nanoseconds, so only
+// the end-to-end pair is held to the 5% budget.
+type Pair struct {
+	Name         string  `json:"name"`
+	Noop         Result  `json:"noop"`
+	Instrumented Result  `json:"instrumented"`
+	OverheadPct  float64 `json:"overhead_pct"`
+}
+
+// Report is the BENCH_obs.json document.
+type Report struct {
+	Pairs []Pair `json:"pairs"`
+}
+
+// reps repetitions per benchmark; the fastest wins, the standard way
+// to strip scheduler and frequency-scaling noise from a comparison.
+var reps = flag.Int("reps", 3, "repetitions per benchmark (fastest wins)")
+
+func run(name string, f func(b *testing.B)) Result {
+	best := Result{Name: name}
+	for i := 0; i < *reps; i++ {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < best.NsPerOp {
+			best.N = r.N
+			best.NsPerOp = ns
+			best.AllocsPerOp = r.AllocsPerOp()
+			best.BytesPerOp = r.AllocedBytesPerOp()
+		}
+	}
+	return best
+}
+
+func pair(name string, noop, instr func(b *testing.B)) Pair {
+	a, b := run(name+"/noop", noop), run(name+"/instrumented", instr)
+	p := Pair{Name: name, Noop: a, Instrumented: b}
+	if a.NsPerOp > 0 {
+		p.OverheadPct = 100 * (b.NsPerOp - a.NsPerOp) / a.NsPerOp
+	}
+	return p
+}
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	live := obs.New()
+	liveCounter := live.Counter("bench.counter")
+	liveHist := live.Histogram("bench.hist", obs.SlotBuckets)
+	noopCounter := obs.Noop.Counter("bench.counter")
+	noopHist := obs.Noop.Histogram("bench.hist", obs.SlotBuckets)
+
+	rep := Report{Pairs: []Pair{
+		pair("counter.inc",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					noopCounter.Inc()
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					liveCounter.Inc()
+				}
+			}),
+		pair("histogram.observe",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					noopHist.Observe(float64(i % 300))
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					liveHist.Observe(float64(i % 300))
+				}
+			}),
+		pair("span",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					obs.Noop.StartSpan("bench.span", i).End(i + 3)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					live.StartSpan("bench.span", i).End(i + 3)
+				}
+			}),
+		pair("experiments.table3",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Table3(experiments.Opts{Seed: int64(i) + 1, Runs: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					o := experiments.Opts{Seed: int64(i) + 1, Runs: 1, Metrics: obs.New()}
+					if _, err := experiments.Table3(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+	}}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	js = append(js, '\n')
+	if *out == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	for _, p := range rep.Pairs {
+		fmt.Printf("%-22s noop %12.1f ns/op   instrumented %12.1f ns/op   overhead %+6.2f%%\n",
+			p.Name, p.Noop.NsPerOp, p.Instrumented.NsPerOp, p.OverheadPct)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/instances"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		dynamics = flag.String("dynamics", "equilibrium", "price model: equilibrium | full")
 		diurnal  = flag.Float64("diurnal", 0, "diurnal arrival modulation amplitude in [0,1)")
 		summary  = flag.Bool("summary", false, "print a statistical summary instead of CSV")
+		metrics  = flag.Bool("metrics", false, "print a generation metrics snapshot to stderr (keeps stdout CSV-clean)")
 		list     = flag.Bool("list", false, "list calibrated instance types and exit")
 	)
 	flag.Parse()
@@ -47,6 +49,9 @@ func main() {
 		FullDynamics:     *dynamics == "full",
 		DiurnalAmplitude: *diurnal,
 	}
+	if *metrics {
+		opts.Metrics = obs.New()
+	}
 	if *dynamics != "full" && *dynamics != "equilibrium" {
 		fatalf("unknown -dynamics %q (want equilibrium or full)", *dynamics)
 	}
@@ -57,10 +62,11 @@ func main() {
 
 	if *summary {
 		printSummary(tr)
-		return
-	}
-	if err := tr.WriteCSV(os.Stdout); err != nil {
+	} else if err := tr.WriteCSV(os.Stdout); err != nil {
 		fatalf("writing CSV: %v", err)
+	}
+	if opts.Metrics != nil {
+		fmt.Fprintf(os.Stderr, "== Metrics\n\n%s", opts.Metrics.Snapshot().Render())
 	}
 }
 

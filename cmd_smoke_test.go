@@ -65,6 +65,23 @@ func TestSpotsimCLI(t *testing.T) {
 		t.Errorf("list output:\n%s", out)
 	}
 
+	// -metrics reports generation stats on stderr; stdout stays pure
+	// CSV for piping.
+	cmd := exec.Command(bin, "-type", "c3.large", "-days", "1", "-metrics")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("spotsim -metrics: %v\n%s", err, stderr.String())
+	}
+	if got := strings.Split(strings.TrimSpace(stdout.String()), "\n"); len(got) != 1+288 {
+		t.Errorf("-metrics CSV lines = %d, want 289", len(got))
+	}
+	for _, want := range []string{"trace.slots_generated", "trace.price_usd"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("metrics stderr missing %q in:\n%s", want, stderr.String())
+		}
+	}
+
 	// Bad flags exit non-zero.
 	if err := exec.Command(bin, "-type", "bogus", "-summary").Run(); err == nil {
 		t.Error("unknown type should fail")
@@ -117,6 +134,21 @@ func TestExperimentsCLI(t *testing.T) {
 	for _, want := range []string{"Table 3", "persistent-30s", "Stability", "threshold"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("experiments missing %q in:\n%s", want, out)
+		}
+	}
+
+	// -metrics appends the aggregated snapshot; -metrics-json emits it
+	// as JSON.
+	out = runCmd(t, bin, "-only", "table3", "-runs", "1", "-metrics")
+	for _, want := range []string{"== Metrics", "experiments.table3.types", "trace.price_usd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments -metrics missing %q in:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, bin, "-only", "table3", "-runs", "1", "-metrics-json")
+	for _, want := range []string{"== Metrics (JSON)", `"counters"`, `"experiments.table3.types"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments -metrics-json missing %q in:\n%s", want, out)
 		}
 	}
 }

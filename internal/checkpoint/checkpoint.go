@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/timeslot"
 )
 
@@ -44,6 +45,16 @@ type Volume struct {
 	records map[string]Record
 	history []Record // append-only audit log
 	fault   func(jobID string, slot int) error
+	met     *obs.Registry
+}
+
+// SetMetrics installs a metrics registry recording checkpoint.saves,
+// checkpoint.save_failures, checkpoint.restores, and
+// checkpoint.deletes. Nil — the default — records nothing.
+func (v *Volume) SetMetrics(m *obs.Registry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.met = m
 }
 
 // SetWriteFault installs a hook consulted before every Save; a non-nil
@@ -73,9 +84,11 @@ func (v *Volume) Save(jobID string, slot int, remaining timeslot.Hours) error {
 	defer v.mu.Unlock()
 	if v.fault != nil {
 		if err := v.fault(jobID, slot); err != nil {
+			v.met.Counter("checkpoint.save_failures").Inc()
 			return err
 		}
 	}
+	v.met.Counter("checkpoint.saves").Inc()
 	rec := Record{JobID: jobID, Slot: slot, Remaining: remaining,
 		Resumptions: v.records[jobID].Resumptions}
 	v.records[jobID] = rec
@@ -93,6 +106,7 @@ func (v *Volume) Restore(jobID string) (Record, bool) {
 	if !ok {
 		return Record{}, false
 	}
+	v.met.Counter("checkpoint.restores").Inc()
 	rec.Resumptions++
 	v.records[jobID] = rec
 	return rec, true
@@ -111,6 +125,9 @@ func (v *Volume) Peek(jobID string) (Record, bool) {
 func (v *Volume) Delete(jobID string) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if _, ok := v.records[jobID]; ok {
+		v.met.Counter("checkpoint.deletes").Inc()
+	}
 	delete(v.records, jobID)
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/instances"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
@@ -46,6 +47,12 @@ type Client struct {
 	// DefaultStallSlots). Jobs priced from clean telemetry are never
 	// watched: legitimate idling is part of the persistent strategy.
 	StallSlots int
+	// Metrics, when non-nil, receives the client runtime's telemetry
+	// (client.* metrics; see DESIGN.md §7). Prefer SetMetrics, which
+	// also wires the region, the checkpoint volume, and the retry
+	// policy. Nil — the default — records nothing and keeps seeded
+	// runs bit-identical to an uninstrumented client.
+	Metrics *obs.Registry
 
 	// lastGood caches the most recent successfully fetched F_π
 	// estimate per type: the price monitor's degraded-mode fallback
@@ -72,6 +79,30 @@ func New(region *cloud.Region) (*Client, error) {
 		HistoryWindow: DefaultHistoryWindow,
 		lastGood:      make(map[instances.Type]cachedECDF),
 	}, nil
+}
+
+// SetMetrics installs one registry across the client's whole
+// observable surface: the client runtime itself, the region's market
+// hooks, the checkpoint volume, and the retry policy. One call mirrors
+// chaos.Injector.Arm for the fault surface.
+func (c *Client) SetMetrics(m *obs.Registry) {
+	c.Metrics = m
+	if c.Region != nil {
+		c.Region.SetMetrics(m)
+	}
+	if c.Volume != nil {
+		c.Volume.SetMetrics(m)
+	}
+}
+
+// policy returns the client's retry policy with the metrics registry
+// threaded through (unless the caller already installed one).
+func (c *Client) policy() retry.Policy {
+	p := c.Retry
+	if p.Metrics == nil {
+		p.Metrics = c.Metrics
+	}
+	return p
 }
 
 // Telemetry annotates a Report with the degradation the client
@@ -101,6 +132,12 @@ type Telemetry struct {
 	// degraded telemetry made no progress for StallSlots, so the
 	// remainder of the job ran on-demand.
 	Stalled bool
+	// Metrics is the client registry's cumulative snapshot taken when
+	// the report was produced — the run's metrics summary. Nil unless
+	// a registry is installed (SetMetrics); when one client runs
+	// several jobs, each report's snapshot includes everything
+	// recorded up to that point.
+	Metrics *obs.Snapshot
 }
 
 // Degraded reports whether any degradation was observed at all.
@@ -143,7 +180,7 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 	}
 	slot := timeslot.Hours(float64(c.Region.Grid().Slot))
 	var ecdf *dist.Empirical
-	st, ferr := c.Retry.Do("price-history", func() error {
+	st, ferr := c.policy().Do("price-history", func() error {
 		hist, err := c.Region.PriceHistory(t, window)
 		if err != nil {
 			return err
@@ -180,10 +217,14 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 			return retry.Transient(err)
 		}
 		tel.RejectedQuotes += rejected
+		if rejected > 0 {
+			c.Metrics.Counter("client.quotes.rejected").Add(int64(rejected))
+		}
 		ecdf = e
 		return nil
 	})
 	tel.FetchRetries = st.Retries()
+	c.Metrics.Counter("client.fetch.retries").Add(int64(st.Retries()))
 	if ferr != nil {
 		if !retry.IsTransient(ferr) {
 			return core.Market{}, tel, ferr
@@ -197,6 +238,11 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 		}
 		tel.Stale = true
 		tel.ECDFAgeSlots = c.Region.Now() - cached.slot
+		c.Metrics.Counter("client.ecdf.stale_serves").Inc()
+		if c.Metrics != nil {
+			c.Metrics.Histogram("client.ecdf.age_slots", obs.SlotBuckets).
+				Observe(float64(tel.ECDFAgeSlots))
+		}
 		return core.Market{Price: cached.ecdf, OnDemand: spec.OnDemand, Slot: slot}, tel, nil
 	}
 	c.mu.Lock()
@@ -319,14 +365,28 @@ func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	return Report{Strategy: "on-demand", Outcome: out}, nil
+	rep := Report{Strategy: "on-demand", Outcome: out}
+	c.attachMetrics(&rep)
+	return rep, nil
+}
+
+// attachMetrics stamps the report with the client registry's current
+// snapshot — the per-report metrics summary. No-op without a registry.
+func (c *Client) attachMetrics(rep *Report) {
+	if c.Metrics == nil {
+		return
+	}
+	snap := c.Metrics.Snapshot()
+	rep.Telemetry.Metrics = &snap
 }
 
 func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind, tel Telemetry) (Report, error) {
+	span := c.Metrics.StartSpan("client.job_slots", c.Region.Now())
 	// Degrade gracefully via the existing on-demand path (§3.2's
 	// playbook). The strategy keeps its name; Telemetry records the
 	// substitution, and BidPrice stays 0 — no bid was ever placed.
 	fallback := func() (Report, error) {
+		c.Metrics.Counter("client.fallback.on_demand").Inc()
 		rep, err := c.RunOnDemand(spec)
 		if err != nil {
 			return Report{}, err
@@ -335,13 +395,19 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 		rep.Analytic = analytic
 		tel.FellBackOnDemand = true
 		rep.Telemetry = tel
+		span.End(c.Region.Now())
+		c.attachMetrics(&rep)
 		return rep, nil
 	}
 	if !(analytic.Price > 0) {
 		// Degraded or corrupted telemetry can push the computed
 		// optimum to a degenerate (non-positive) bid the cloud would
 		// reject; a bid that can never run is as good as no bid.
+		c.Metrics.Counter("client.bids.degenerate").Inc()
 		return fallback()
+	}
+	if c.Metrics != nil {
+		c.Metrics.Histogram("client.bid_usd", obs.PriceBuckets).Observe(analytic.Price)
 	}
 	tracker, err := c.submitSpot(spec, analytic.Price, kind, &tel)
 	if err != nil {
@@ -349,13 +415,17 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 			return Report{}, err
 		}
 		// Submission budget exhausted.
+		c.Metrics.Counter("client.submit.exhausted").Inc()
 		return fallback()
 	}
 	out, err := c.superviseSpot(tracker, spec, &tel)
 	if err != nil {
 		return Report{}, err
 	}
-	return Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out, Telemetry: tel}, nil
+	span.End(c.Region.Now())
+	rep := Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out, Telemetry: tel}
+	c.attachMetrics(&rep)
+	return rep, nil
 }
 
 // DefaultStallSlots is the stall watchdog's default window: four hours
@@ -403,7 +473,7 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 		// and try again a window later rather than risk paying twice.
 		req := tracker.Request()
 		if req != nil {
-			if _, err := c.Retry.Do("cancel", func() error {
+			if _, err := c.policy().Do("cancel", func() error {
 				return c.Region.CancelSpotRequest(req.ID)
 			}); err != nil {
 				if !retry.IsTransient(err) {
@@ -415,6 +485,8 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 		}
 		tel.Stalled = true
 		tel.FellBackOnDemand = true
+		c.Metrics.Counter("client.stall_fires").Inc()
+		c.Metrics.Counter("client.fallback.on_demand").Inc()
 		spot := tracker.Outcome()
 		remaining := tracker.Remaining()
 		if spot.RunTime > 0 {
@@ -461,7 +533,7 @@ func mergeOutcomes(a, b job.Outcome) job.Outcome {
 // (chaos-injected) API failures under the client's policy.
 func (c *Client) submitSpot(spec job.Spec, bid float64, kind cloud.RequestKind, tel *Telemetry) (*job.Tracker, error) {
 	var tracker *job.Tracker
-	st, err := c.Retry.Do("submit", func() error {
+	st, err := c.policy().Do("submit", func() error {
 		tk, err := job.NewSpotJob(c.Region, c.Volume, spec, bid, kind)
 		if err != nil {
 			return err
@@ -470,5 +542,6 @@ func (c *Client) submitSpot(spec job.Spec, bid float64, kind cloud.RequestKind, 
 		return nil
 	})
 	tel.SubmitRetries += st.Retries()
+	c.Metrics.Counter("client.submit.retries").Add(int64(st.Retries()))
 	return tracker, err
 }

@@ -204,6 +204,8 @@ type Region struct {
 	// pendingTerm maps request IDs whose out-bid notice is delayed to
 	// the slot the termination lands.
 	pendingTerm map[string]int
+
+	met *regionMetrics // nil: uninstrumented (see metrics.go)
 }
 
 // NewRegion builds a region serving the given price traces (one per
@@ -341,6 +343,9 @@ func (r *Region) RequestSpotInstances(t instances.Type, bid float64, kind Reques
 		r.order = append(r.order, req.ID)
 		out[i] = req
 	}
+	if r.met != nil {
+		r.met.submitted.Add(int64(count))
+	}
 	return out, nil
 }
 
@@ -370,6 +375,9 @@ func (r *Region) CancelSpotRequest(id string) error {
 	}
 	delete(r.pendingTerm, id)
 	req.State = Cancelled
+	if r.met != nil {
+		r.met.cancelled.Inc()
+	}
 	r.events = append(r.events, Event{Slot: r.clock.Now(), Kind: EvCancel, RequestID: id})
 	return nil
 }
@@ -389,6 +397,9 @@ func (r *Region) LaunchOnDemand(t instances.Type) (*Instance, error) {
 		Running:        true,
 	}
 	r.insts[inst.ID] = inst
+	if r.met != nil {
+		r.met.odLaunches.Inc()
+	}
 	r.events = append(r.events, Event{Slot: r.clock.Now(), Kind: EvLaunch, InstanceID: inst.ID})
 	return inst, nil
 }
@@ -416,6 +427,10 @@ func (r *Region) TerminateInstance(id string) error {
 func (r *Region) terminate(inst *Instance) {
 	inst.Running = false
 	inst.TerminatedSlot = r.clock.Now()
+	if r.met != nil {
+		r.met.userTerm.Inc()
+		r.observeTermination(inst, r.clock.Now())
+	}
 	r.settlePartialHour(inst, false)
 	if inst.RequestID != "" {
 		delete(r.pendingTerm, inst.RequestID)
@@ -459,6 +474,9 @@ func (r *Region) Tick() error {
 		if r.inj != nil {
 			if d := r.inj.OutbidDelay(slot); d > 0 {
 				r.pendingTerm[id] = slot + d
+				if r.met != nil {
+					r.met.outbidDelayed.Inc()
+				}
 				continue
 			}
 		}
@@ -476,6 +494,9 @@ func (r *Region) Tick() error {
 			continue
 		}
 		if r.inj != nil && r.inj.LaunchBlocked(req.Type, slot) {
+			if r.met != nil {
+				r.met.blocked.Inc()
+			}
 			continue // capacity outage: stays pending above the price
 		}
 		r.nextInst++
@@ -491,6 +512,9 @@ func (r *Region) Tick() error {
 		r.insts[inst.ID] = inst
 		req.State = Active
 		req.InstanceID = inst.ID
+		if r.met != nil {
+			r.met.accepted.Inc()
+		}
 		r.events = append(r.events, Event{Slot: slot, Kind: EvLaunch, RequestID: id, InstanceID: inst.ID, Price: price})
 	}
 
@@ -501,12 +525,19 @@ func (r *Region) Tick() error {
 			continue
 		}
 		inst.RunSlots++
+		before := inst.Cost
 		if inst.Spot {
 			r.chargeSlot(inst, r.traces[inst.Type].At(slot))
 		} else {
 			r.chargeSlot(inst, instances.MustLookup(inst.Type).OnDemand)
 		}
+		if r.met != nil {
+			if d := inst.Cost - before; d > 0 {
+				r.met.charge.Observe(d)
+			}
+		}
 	}
+	r.observeSlot(slot)
 	return nil
 }
 
@@ -518,6 +549,10 @@ func (r *Region) outbid(req *SpotRequest, slot int, price float64) {
 	inst.Running = false
 	inst.TerminatedSlot = slot
 	inst.ProviderTerminated = true
+	if r.met != nil {
+		r.met.outbid.Inc()
+		r.observeTermination(inst, slot)
+	}
 	r.settlePartialHour(inst, true)
 	req.Interruptions++
 	switch req.Kind {

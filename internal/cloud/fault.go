@@ -83,5 +83,9 @@ func (r *Region) apiFault(op Op) error {
 	if r.inj == nil {
 		return nil
 	}
-	return r.inj.APIFault(op, r.clock.Now())
+	err := r.inj.APIFault(op, r.clock.Now())
+	if err != nil && r.met != nil {
+		r.met.apiFaults.Inc()
+	}
+	return err
 }

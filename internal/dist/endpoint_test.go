@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// The bidding formulas (Eq. 9–14) evaluate PartialMean and
+// ConditionalMean exactly at the price support's endpoints: the
+// persistent bid search starts at p = π̲ and the on-demand comparison
+// sits at p = π̄. These tests pin the endpoint semantics for both the
+// continuous fallback (quadrature) and the exact Empirical path.
+
+// TestPartialMeanSupportEndpoints checks ∫ x dF over [lo, p] at
+// p = lo and p = hi for continuous distributions: zero mass at the
+// lower endpoint, the full mean at the upper.
+func TestPartialMeanSupportEndpoints(t *testing.T) {
+	pmin, pod := 0.03, 0.28 // r3.xlarge's π̲ and π̄
+	u, err := NewUniform(pmin, pod)
+	if err != nil {
+		t.Fatalf("NewUniform: %v", err)
+	}
+	if got := PartialMean(u, pmin); got != 0 {
+		t.Errorf("uniform PartialMean(π̲) = %v, want 0", got)
+	}
+	if got, want := PartialMean(u, pod), u.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform PartialMean(π̄) = %v, want mean %v", got, want)
+	}
+	// Above the support nothing more accumulates.
+	if got, want := PartialMean(u, 2*pod), u.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform PartialMean(2π̄) = %v, want mean %v", got, want)
+	}
+
+	p, err := NewPareto(2.5, pmin)
+	if err != nil {
+		t.Fatalf("NewPareto: %v", err)
+	}
+	if got := PartialMean(p, pmin); got != 0 {
+		t.Errorf("pareto PartialMean(x_m) = %v, want 0", got)
+	}
+	// Far into the tail the partial mean approaches the full mean
+	// α·x_m/(α−1).
+	mean := 2.5 * pmin / 1.5
+	if got := p.PartialMean(1e6); math.Abs(got-mean) > 1e-6 {
+		t.Errorf("pareto PartialMean(→∞) = %v, want %v", got, mean)
+	}
+}
+
+// TestConditionalMeanSupportEndpoints checks E[X | X ≤ p] at the
+// endpoints: NaN at p = π̲ for continuous laws (probability-zero
+// condition), the unconditional mean at p = π̄.
+func TestConditionalMeanSupportEndpoints(t *testing.T) {
+	pmin, pod := 0.03, 0.28
+	u, err := NewUniform(pmin, pod)
+	if err != nil {
+		t.Fatalf("NewUniform: %v", err)
+	}
+	if got := ConditionalMean(u, pmin); !math.IsNaN(got) {
+		t.Errorf("uniform ConditionalMean(π̲) = %v, want NaN", got)
+	}
+	if got, want := ConditionalMean(u, pod), u.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform ConditionalMean(π̄) = %v, want mean %v", got, want)
+	}
+	// The conditional mean must be monotone in p and bounded by p.
+	prev := math.Inf(-1)
+	for _, p := range Linspace(pmin+1e-6, pod, 25) {
+		m := ConditionalMean(u, p)
+		if m < prev-1e-12 {
+			t.Fatalf("ConditionalMean decreased at p=%v: %v < %v", p, m, prev)
+		}
+		if m > p {
+			t.Fatalf("ConditionalMean(%v) = %v exceeds the threshold", p, m)
+		}
+		prev = m
+	}
+}
+
+// TestEmpiricalEndpoints checks the exact empirical path at the order
+// statistics' extremes, where the ECDF carries atoms the continuous
+// laws lack.
+func TestEmpiricalEndpoints(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	// The lower endpoint carries the atom 1 with mass 1/4.
+	if got, want := PartialMean(e, 1), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("empirical PartialMean(min) = %v, want %v", got, want)
+	}
+	if got, want := ConditionalMean(e, 1), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("empirical ConditionalMean(min) = %v, want %v", got, want)
+	}
+	// Just below the minimum the condition has probability zero.
+	if got := ConditionalMean(e, 1-1e-9); !math.IsNaN(got) {
+		t.Errorf("empirical ConditionalMean(min−) = %v, want NaN", got)
+	}
+	// The upper endpoint captures the whole sample.
+	if got, want := PartialMean(e, 4), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("empirical PartialMean(max) = %v, want %v", got, want)
+	}
+	if got, want := ConditionalMean(e, 4), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("empirical ConditionalMean(max) = %v, want %v", got, want)
+	}
+}
+
+// TestEmpiricalDegenerateSingleValue checks a point-mass history —
+// a spot price that never moved — for every statistic the bid search
+// touches.
+func TestEmpiricalDegenerateSingleValue(t *testing.T) {
+	const v = 0.05
+	for _, xs := range [][]float64{{v}, {v, v, v, v}} {
+		e, err := NewEmpirical(xs, 0)
+		if err != nil {
+			t.Fatalf("NewEmpirical(%v): %v", xs, err)
+		}
+		if got := e.Support(); got.Lo != v || got.Hi != v {
+			t.Errorf("n=%d Support = %+v, want point %v", len(xs), got, v)
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := e.Quantile(q); got != v {
+				t.Errorf("n=%d Quantile(%v) = %v, want %v", len(xs), q, got, v)
+			}
+		}
+		if got := e.CDF(v); got != 1 {
+			t.Errorf("n=%d CDF(point) = %v, want 1", len(xs), got)
+		}
+		if got := e.CDF(v - 1e-12); got != 0 {
+			t.Errorf("n=%d CDF(point−) = %v, want 0", len(xs), got)
+		}
+		if got := PartialMean(e, v); math.Abs(got-v) > 1e-15 {
+			t.Errorf("n=%d PartialMean(point) = %v, want %v", len(xs), got, v)
+		}
+		if got := ConditionalMean(e, v); math.Abs(got-v) > 1e-15 {
+			t.Errorf("n=%d ConditionalMean(point) = %v, want %v", len(xs), got, v)
+		}
+		if got := ConditionalMean(e, v-1e-12); !math.IsNaN(got) {
+			t.Errorf("n=%d ConditionalMean(point−) = %v, want NaN", len(xs), got)
+		}
+		// The sliver-width PDF histogram must integrate to ~1 and be
+		// finite at the point.
+		if pdf := e.PDF(v); math.IsInf(pdf, 0) || pdf <= 0 {
+			t.Errorf("n=%d PDF(point) = %v, want finite positive", len(xs), pdf)
+		}
+	}
+}

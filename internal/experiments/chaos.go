@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/instances"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/timeslot"
 )
 
@@ -48,7 +49,7 @@ type ChaosResult struct{ Rows []ChaosRow }
 // chaosRun executes one job under one strategy on a fresh chaos-armed
 // region. Runs are deterministic per seed: region trace, submission
 // offset, and the entire fault sequence all derive from it.
-func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, offset, days int) (client.Report, chaos.Stats, error) {
+func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, offset, days int, met *obs.Registry) (client.Report, chaos.Stats, error) {
 	region, err := regionFor([]instances.Type{typ}, seed, days)
 	if err != nil {
 		return client.Report{}, chaos.Stats{}, err
@@ -56,6 +57,9 @@ func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, off
 	cl, err := client.New(region)
 	if err != nil {
 		return client.Report{}, chaos.Stats{}, err
+	}
+	if met != nil {
+		cl.SetMetrics(met)
 	}
 	inj := chaos.New(chaos.Uniform(rate, seed*31+1))
 	inj.Arm(region, cl.Volume)
@@ -98,9 +102,23 @@ func ChaosSweep(o Opts) (ChaosResult, error) {
 				err    error
 			}
 			results := make([]runResult, o.Runs)
+			// Each parallel repetition records into its own registry;
+			// the snapshots merge into o.Metrics in run order below,
+			// keeping the aggregate independent of worker scheduling.
+			var regs []*obs.Registry
+			if o.Metrics != nil {
+				regs = make([]*obs.Registry, o.Runs)
+				for run := range regs {
+					regs[run] = obs.New()
+				}
+			}
 			err := forEachRun(o.Runs, func(run int) error {
 				seed := o.Seed + int64(si)*2003 + int64(run)*7919
-				rep, st, err := chaosRun(typ, strategy, rate, seed, offs[run], o.Days)
+				var met *obs.Registry
+				if regs != nil {
+					met = regs[run]
+				}
+				rep, st, err := chaosRun(typ, strategy, rate, seed, offs[run], o.Days, met)
 				// A client that cannot start its job at all is a data
 				// point, not an experiment failure.
 				results[run] = runResult{rep: rep, faults: st, err: err}
@@ -108,6 +126,11 @@ func ChaosSweep(o Opts) (ChaosResult, error) {
 			})
 			if err != nil {
 				return ChaosResult{}, err
+			}
+			for _, reg := range regs {
+				if err := o.Metrics.Merge(reg.Snapshot()); err != nil {
+					return ChaosResult{}, fmt.Errorf("experiments: merging chaos run metrics: %w", err)
+				}
 			}
 			var cost, compl float64
 			for _, r := range results {
@@ -135,6 +158,9 @@ func ChaosSweep(o Opts) (ChaosResult, error) {
 				row.MeanCost = cost / float64(row.Completed)
 				row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
 			}
+			o.Metrics.Counter("experiments.chaos.runs").Add(int64(row.Runs))
+			o.Metrics.Counter("experiments.chaos.completed").Add(int64(row.Completed))
+			o.Metrics.Counter("experiments.chaos.errored").Add(int64(row.Errored))
 			if rate == 0 {
 				if row.Completed == 0 {
 					return ChaosResult{}, fmt.Errorf("experiments: fault-free %s baseline never completed", strategy)

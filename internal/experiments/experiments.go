@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/instances"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,13 @@ type Opts struct {
 	// Days is the trace length backing each run (default 63: two
 	// months of history plus room for the job itself).
 	Days int
+	// Metrics, when non-nil, aggregates observability data across the
+	// experiment: parallel repetitions record into private registries
+	// that are merged here in run order after every repetition
+	// finishes, so the aggregate is deterministic regardless of
+	// worker scheduling. Nil — the default — records nothing and
+	// changes no behavior.
+	Metrics *obs.Registry
 }
 
 func (o Opts) withDefaults() Opts {

@@ -43,7 +43,7 @@ func Table3(o Opts) (Table3Result, error) {
 		// DwellSlots 1: the table's bids depend only on the price
 		// marginal; independent draws give the cleanest two-month
 		// ECDF.
-		tr, err := trace.Generate(typ, trace.GenOptions{Days: 61, Seed: o.Seed + int64(i)*211, DwellSlots: 1})
+		tr, err := trace.Generate(typ, trace.GenOptions{Days: 61, Seed: o.Seed + int64(i)*211, DwellSlots: 1, Metrics: o.Metrics})
 		if err != nil {
 			return Table3Result{}, err
 		}
@@ -72,6 +72,7 @@ func Table3(o Opts) (Table3Result, error) {
 		if err != nil {
 			return Table3Result{}, err
 		}
+		o.Metrics.Counter("experiments.table3.types").Inc()
 		res.Rows = append(res.Rows, Table3Row{
 			Type:                 typ,
 			OnDemand:             m.OnDemand,

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/arrivals"
+	"repro/internal/obs"
 )
 
 // Simulator runs the full queue dynamics of Fig. 2: every slot new
@@ -25,6 +26,12 @@ type Simulator struct {
 	InitialLoad float64
 	// Warmup discards this many leading slots from the result.
 	Warmup int
+	// Metrics, when non-nil, records the post-warmup trajectory:
+	// market.slots (counter), market.queue_len and market.accepted
+	// (histograms over obs.LoadBuckets, the paper's L(t) and N(t)),
+	// and market.price_usd (histogram over obs.PriceBuckets). Nil —
+	// the default — records nothing and changes no behavior.
+	Metrics *obs.Registry
 }
 
 // SimResult holds one simulated trajectory.
@@ -83,6 +90,14 @@ func (s Simulator) Run(n int, r *rand.Rand) (SimResult, error) {
 		Loads:    make([]float64, 0, n),
 		Accepted: make([]float64, 0, n),
 	}
+	var slots *obs.Counter
+	var queueLen, accepted, price *obs.Histogram
+	if s.Metrics != nil {
+		slots = s.Metrics.Counter("market.slots")
+		queueLen = s.Metrics.Histogram("market.queue_len", obs.LoadBuckets)
+		accepted = s.Metrics.Histogram("market.accepted", obs.LoadBuckets)
+		price = s.Metrics.Histogram("market.price_usd", obs.PriceBuckets)
+	}
 	total := s.Warmup + n
 	for t := 0; t < total; t++ {
 		step := s.Provider.Step(load, s.Arrivals.Next(r))
@@ -90,6 +105,12 @@ func (s Simulator) Run(n int, r *rand.Rand) (SimResult, error) {
 			res.Prices = append(res.Prices, step.Price)
 			res.Loads = append(res.Loads, load)
 			res.Accepted = append(res.Accepted, step.Accepted)
+			if s.Metrics != nil {
+				slots.Inc()
+				queueLen.Observe(load)
+				accepted.Observe(step.Accepted)
+				price.Observe(step.Price)
+			}
 		}
 		load = step.NextLoad
 	}

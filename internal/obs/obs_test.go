@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsNoop: every operation on the nil (Noop) registry —
+// and on the nil handles it returns — must be safe and free of effect.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	r.Histogram("h", PriceBuckets).Observe(0.1)
+	sp := r.StartSpan("s", 10)
+	sp.End(20)
+	if err := r.Merge(Snapshot{Counters: []CounterSnap{{Name: "x", Value: 1}}}); err != nil {
+		t.Fatalf("nil Merge: %v", err)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if got := s.Render(); !strings.Contains(got, "no metrics") {
+		t.Fatalf("empty render = %q", got)
+	}
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 {
+		t.Fatal("nil handles returned non-zero values")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("cloud.slots")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("cloud.slots") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("cloud.queue.open")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestSpanRecordsSlotDurations(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("client.job_slots", 100)
+	sp.End(148)
+	sp.End(500) // second End is a no-op
+	h := r.Histogram("client.job_slots", SlotBuckets)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("span observations = %d, want 1", got)
+	}
+	if got := h.Sum(); got != 48 {
+		t.Fatalf("span sum = %v, want 48", got)
+	}
+	// Negative durations clamp to zero rather than rejecting: a span
+	// ended in its opening slot took less than one slot.
+	sp2 := r.StartSpan("client.job_slots", 10)
+	sp2.End(3)
+	if got := h.Sum(); got != 48 {
+		t.Fatalf("sum after clamped span = %v, want 48", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count after clamped span = %d, want 2", got)
+	}
+}
+
+// TestSnapshotDeterminism: the same sequence of operations yields
+// byte-identical JSON and text renderings, independent of map
+// iteration order.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		for _, name := range []string{"z.last", "a.first", "m.middle"} {
+			r.Counter(name).Add(3)
+			r.Gauge("g." + name).Set(0.25)
+			r.Histogram("h."+name, PriceBuckets).Observe(0.07)
+		}
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("JSON not deterministic:\n%s\nvs\n%s", ja, jb)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("text rendering not deterministic")
+	}
+	// Sections are name-sorted.
+	if a.Counters[0].Name != "a.first" || a.Counters[2].Name != "z.last" {
+		t.Fatalf("counters not sorted: %+v", a.Counters)
+	}
+}
+
+func TestMergeAggregates(t *testing.T) {
+	mk := func(n int64) Snapshot {
+		r := New()
+		r.Counter("runs").Add(n)
+		r.Gauge("last").Set(float64(n))
+		h := r.Histogram("cost", PriceBuckets)
+		h.Observe(0.05 * float64(n))
+		return r.Snapshot()
+	}
+	agg := New()
+	for i := int64(1); i <= 3; i++ {
+		if err := agg.Merge(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := agg.Counter("runs").Value(); got != 6 {
+		t.Fatalf("merged counter = %d, want 6", got)
+	}
+	if got := agg.Gauge("last").Value(); got != 3 { // last merged wins
+		t.Fatalf("merged gauge = %v, want 3", got)
+	}
+	h := agg.Histogram("cost", PriceBuckets)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("merged hist count = %d, want 3", got)
+	}
+	want := 0.0
+	for i := 1; i <= 3; i++ {
+		want += 0.05 * float64(i)
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("merged hist sum = %v, want %v", got, want)
+	}
+
+	// Mismatched bucket bounds must be refused, not silently mangled.
+	bad := New()
+	bad.Histogram("cost", SlotBuckets).Observe(1)
+	if err := agg.Merge(bad.Snapshot()); err == nil {
+		t.Fatal("merge with mismatched buckets succeeded")
+	}
+}
+
+// TestConcurrentCounters: counters must tolerate concurrent writers
+// and lose nothing (the parallel experiment runner shares a registry).
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("hits").Inc()
+				r.Histogram("obs", SlotBuckets).Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*per {
+		t.Fatalf("concurrent counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("obs", SlotBuckets).Count(); got != workers*per {
+		t.Fatalf("concurrent histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := New()
+	h1 := r.Histogram("x", PriceBuckets)
+	h2 := r.Histogram("x", SlotBuckets)
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	snap := r.Snapshot()
+	if got, want := len(snap.Histograms[0].Uppers), len(PriceBuckets); got != want {
+		t.Fatalf("bucket count = %d, want %d (first registration)", got, want)
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap is one histogram's snapshot. Counts has one entry per
+// bucket in Uppers plus a final overflow entry. Min/Max/Sum cover the
+// finite observations only (see Histogram); they are zero when
+// FiniteCount is zero.
+type HistSnap struct {
+	Name        string    `json:"name"`
+	Uppers      []float64 `json:"uppers"`
+	Counts      []int64   `json:"counts"`
+	Count       int64     `json:"count"`
+	Rejected    int64     `json:"rejected"`
+	FiniteCount int64     `json:"finite_count"`
+	Sum         float64   `json:"sum"`
+	Min         float64   `json:"min"`
+	Max         float64   `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric
+// name within each section — the canonical, deterministic rendering
+// order. The zero value is the snapshot of an empty (or nil) registry.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields
+// the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snap(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+func (h *Histogram) snap(name string) HistSnap {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistSnap{
+		Name:        name,
+		Uppers:      append([]float64(nil), h.uppers...),
+		Counts:      append([]int64(nil), h.counts...),
+		Count:       h.count,
+		Rejected:    h.rejected,
+		FiniteCount: h.finiteN,
+		Sum:         h.sum,
+	}
+	if h.finiteN > 0 {
+		out.Min, out.Max = h.min, h.max
+	}
+	return out
+}
+
+// JSON renders the snapshot as deterministic, indented JSON: fields in
+// struct order, metrics sorted by name, floats in Go's shortest
+// round-trip form. Byte-identical for identical snapshots.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Render returns the snapshot as aligned text tables, one section per
+// metric kind. Deterministic: same snapshot, same bytes.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		rows := make([][]string, len(s.Counters))
+		for i, c := range s.Counters {
+			rows[i] = []string{c.Name, fmt.Sprintf("%d", c.Value)}
+		}
+		b.WriteString(textTable([]string{"counter", "value"}, rows))
+	}
+	if len(s.Gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		rows := make([][]string, len(s.Gauges))
+		for i, g := range s.Gauges {
+			rows[i] = []string{g.Name, fmtFloat(g.Value)}
+		}
+		b.WriteString(textTable([]string{"gauge", "value"}, rows))
+	}
+	if len(s.Histograms) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		rows := make([][]string, len(s.Histograms))
+		for i, h := range s.Histograms {
+			rows[i] = []string{
+				h.Name,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%d", h.Rejected),
+				fmtFloat(h.Sum),
+				fmtFloat(h.mean()),
+				fmtFloat(h.Min),
+				fmtFloat(h.Max),
+			}
+		}
+		b.WriteString(textTable([]string{"histogram", "count", "rejected", "sum", "mean", "min", "max"}, rows))
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+func (h HistSnap) mean() float64 {
+	if h.FiniteCount == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.FiniteCount)
+}
+
+// fmtFloat renders a float with six significant digits — enough to
+// tell metric levels apart while keeping tables readable. (The JSON
+// rendering keeps full precision.)
+func fmtFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.6g", x)
+}
+
+// textTable renders an aligned two-space-separated table (the same
+// layout as the experiments package, reimplemented here to keep obs
+// dependency-free).
+func textTable(headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Merge folds a snapshot into the registry: counters add, histograms
+// add bucket-wise (bucket bounds must match the registered histogram
+// exactly), and gauges take the snapshot's value — "last merged wins",
+// which is deterministic when snapshots are merged in a fixed order.
+// The experiment sweeps use Merge to aggregate per-run registries into
+// a per-sweep registry. A nil registry ignores the call.
+func (r *Registry) Merge(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		r.Counter(c.Name).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name).Set(g.Value)
+	}
+	for _, hs := range s.Histograms {
+		h := r.Histogram(hs.Name, hs.Uppers)
+		if err := h.merge(hs); err != nil {
+			return fmt.Errorf("obs: merging histogram %q: %w", hs.Name, err)
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) merge(s HistSnap) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Uppers) != len(h.uppers) {
+		return fmt.Errorf("bucket count mismatch: %d vs %d", len(s.Uppers), len(h.uppers))
+	}
+	for i, u := range s.Uppers {
+		if u != h.uppers[i] {
+			return fmt.Errorf("bucket bound %d mismatch: %v vs %v", i, u, h.uppers[i])
+		}
+	}
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("count vector length %d, want %d", len(s.Counts), len(h.counts))
+	}
+	for i, c := range s.Counts {
+		h.counts[i] += c
+	}
+	h.count += s.Count
+	h.rejected += s.Rejected
+	h.sum += s.Sum
+	if s.FiniteCount > 0 {
+		if h.finiteN == 0 || s.Min < h.min {
+			h.min = s.Min
+		}
+		if h.finiteN == 0 || s.Max > h.max {
+			h.max = s.Max
+		}
+	}
+	h.finiteN += s.FiniteCount
+	return nil
+}

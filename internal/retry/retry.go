@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // transientError marks an error as retryable.
@@ -87,6 +89,13 @@ type Policy struct {
 	// delays are recorded in Stats but not enacted — the simulated
 	// cloud resolves retries within a pricing slot.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, receives per-operation telemetry:
+	// retry.attempts.<op> and retry.retries.<op> counters,
+	// retry.exhausted.<op> on budget exhaustion, and a
+	// retry.backoff_ms.<op> histogram of individual backoff delays.
+	// The delays themselves are deterministic (seeded jitter), so the
+	// recorded values are too. Nil — the default — records nothing.
+	Metrics *obs.Registry
 }
 
 // Default returns the client runtime's standard policy.
@@ -138,11 +147,14 @@ func (p Policy) Do(op string, fn func() error) (Stats, error) {
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		st.Attempts++
+		p.Metrics.Counter("retry.attempts." + op).Inc()
 		err = fn()
 		if err == nil {
+			p.record(op, st)
 			return st, nil
 		}
 		if !IsTransient(err) {
+			p.record(op, st)
 			return st, err
 		}
 		if attempt == p.Attempts-1 {
@@ -150,11 +162,25 @@ func (p Policy) Do(op string, fn func() error) (Stats, error) {
 		}
 		d := p.delay(op, attempt)
 		st.Backoff += d
+		if p.Metrics != nil {
+			p.Metrics.Histogram("retry.backoff_ms."+op, obs.MillisBuckets).
+				Observe(float64(d) / float64(time.Millisecond))
+		}
 		if p.Sleep != nil {
 			p.Sleep(d)
 		}
 	}
+	p.record(op, st)
+	p.Metrics.Counter("retry.exhausted." + op).Inc()
 	return st, Transient(fmt.Errorf("%w: %s failed %d times: %w", ErrBudgetExhausted, op, st.Attempts, err))
+}
+
+// record publishes a finished Do call's retry count.
+func (p Policy) record(op string, st Stats) {
+	if p.Metrics == nil || st.Retries() == 0 {
+		return
+	}
+	p.Metrics.Counter("retry.retries." + op).Add(int64(st.Retries()))
 }
 
 // delay computes the attempt'th backoff: min(Cap, Base·2^attempt)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/instances"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/timeslot"
 )
 
@@ -170,6 +171,14 @@ type GenOptions struct {
 	// 18 slots (90 min); 1 gives the paper's literal i.i.d. model.
 	// Ignored under FullDynamics (whose queue provides persistence).
 	DwellSlots int
+	// Metrics, when non-nil, records generation statistics:
+	// trace.slots_generated (counter), trace.price_usd (histogram over
+	// obs.PriceBuckets of the emitted per-slot prices), and
+	// trace.dwell_switches (counter of regime changes under the dwell
+	// model). Under FullDynamics it is also forwarded to the queue
+	// simulator (market.* metrics). Nil — the default — records
+	// nothing and changes no behavior.
+	Metrics *obs.Registry
 }
 
 // Generate produces a synthetic spot-price history for the instance
@@ -219,7 +228,7 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 
 	var prices []float64
 	if opt.FullDynamics {
-		sim := market.Simulator{Provider: c.Provider, Arrivals: proc, Warmup: 1000}
+		sim := market.Simulator{Provider: c.Provider, Arrivals: proc, Warmup: 1000, Metrics: opt.Metrics}
 		res, err := sim.Run(n, r)
 		if err != nil {
 			return nil, err
@@ -237,14 +246,21 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 			// is untouched; only the temporal grain changes.
 			switchP := 1 / float64(dwell)
 			cur := prices[0]
+			switches := int64(0)
 			for i := 1; i < n; i++ {
 				if r.Float64() >= switchP {
 					prices[i] = cur
 				} else {
 					cur = prices[i]
+					switches++
 				}
 			}
+			opt.Metrics.Counter("trace.dwell_switches").Add(switches)
 		}
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("trace.slots_generated").Add(int64(len(prices)))
+		opt.Metrics.Histogram("trace.price_usd", obs.PriceBuckets).ObserveBatch(prices)
 	}
 	return New(c.Type, grid, prices)
 }
