@@ -1,10 +1,11 @@
 # Standard checks. `make check` is the pre-merge gate: vet + the full
 # test suite under the race detector (the chaos loop and the parallel
-# experiment harness must stay race-clean).
+# experiment harness must stay race-clean) + a shuffled-order pass
+# (no test may lean on package-level state left by an earlier test).
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs check fuzz bench bench-json
+.PHONY: all build test vet race race-obs shuffle check fuzz bench bench-json
 
 all: check
 
@@ -28,7 +29,12 @@ race-obs:
 		./internal/cloud/ ./internal/client/ ./internal/market/ \
 		./internal/trace/ ./internal/experiments/
 
-check: vet race-obs race
+# Randomized test order, seed printed on failure for replay with
+# -shuffle=N.
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+check: vet race-obs race shuffle
 
 # Short fuzz pass over both history-parser targets.
 fuzz:

@@ -23,7 +23,7 @@ func main() {
 	var (
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		runs        = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
-		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,ablations")
+		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,failover,ablations")
 		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the experiments")
 		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON instead of a table (implies -metrics)")
 	)
@@ -88,6 +88,11 @@ func main() {
 	if sel("chaos") {
 		section("Chaos — strategy degradation under injected faults", func() (interface{ Render() string }, error) {
 			return experiments.ChaosSweep(opts)
+		})
+	}
+	if sel("failover") {
+		section("Failover — multi-region fleet vs home-region outages", func() (interface{ Render() string }, error) {
+			return experiments.FailoverSweep(opts)
 		})
 	}
 	if sel("ablations") {

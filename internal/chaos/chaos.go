@@ -59,6 +59,23 @@ type Config struct {
 	// OutageSlots is the outage length (default 6 slots = 30 min).
 	OutageSlots int
 
+	// RegionOutageRate is the per-slot probability a region-wide outage
+	// starts: every spot market refuses launches AND every region API
+	// call fails transiently for RegionOutageSlots slots. Unlike
+	// OutageRate's independent per-market episodes, the faults are
+	// correlated across instance types — the signature of a real
+	// availability-zone incident, and the event the fleet controller's
+	// circuit breakers are built to survive.
+	RegionOutageRate float64
+	// RegionOutageSlots is the region outage length (default 12 slots =
+	// 1 hour).
+	RegionOutageSlots int
+	// RegionOutageAfter suppresses region-outage draws before this
+	// slot: the schedule only starts rolling there. With rate 1 it
+	// pins a deterministic failure window — "the region dies at slot
+	// k" — which failover tests and forced-outage drills rely on.
+	RegionOutageAfter int
+
 	// OutbidDelayProb is the probability an out-bid notice is delayed:
 	// the instance keeps running — and billing — for OutbidDelaySlots
 	// more slots, like EC2's two-minute warning.
@@ -102,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.OutageSlots <= 0 {
 		c.OutageSlots = 6
 	}
+	if c.RegionOutageSlots <= 0 {
+		c.RegionOutageSlots = 12
+	}
 	if c.OutbidDelaySlots <= 0 {
 		c.OutbidDelaySlots = 1
 	}
@@ -119,6 +139,8 @@ type Stats struct {
 	DroppedSlots, DupedSlots, CorruptedSlots int
 	// Outages counts capacity-outage episodes started.
 	Outages int
+	// RegionOutages counts region-wide outage episodes started.
+	RegionOutages int
 	// DelayedOutbids counts out-bid notices that were delayed.
 	DelayedOutbids int
 	// CheckpointFailures counts failed checkpoint writes.
@@ -128,7 +150,8 @@ type Stats struct {
 // Total sums every fault delivered.
 func (s Stats) Total() int {
 	return s.APIFaults + s.StaleServes + s.DroppedSlots + s.DupedSlots +
-		s.CorruptedSlots + s.Outages + s.DelayedOutbids + s.CheckpointFailures
+		s.CorruptedSlots + s.Outages + s.RegionOutages + s.DelayedOutbids +
+		s.CheckpointFailures
 }
 
 // Injector implements cloud.FaultInjector (plus a checkpoint write
@@ -144,6 +167,11 @@ type Injector struct {
 	// per-type outage schedule, advanced lazily slot by slot
 	outageNext  map[instances.Type]int // first slot not yet decided
 	outageUntil map[instances.Type]int // outage active while slot < until
+
+	// region-wide outage schedule, shared by every instance type and
+	// every API operation, advanced lazily like the per-type one
+	regionNext  int
+	regionUntil int
 
 	stats Stats
 }
@@ -176,6 +204,9 @@ func (in *Injector) Stats() Stats {
 func (in *Injector) APIFault(op cloud.Op, slot int) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.regionOutage(slot) {
+		return transientf("chaos: region outage fails %s at slot %d", op, slot)
+	}
 	if in.burst[op] > 0 {
 		in.burst[op]--
 		in.stats.APIFaults++
@@ -248,6 +279,9 @@ func (in *Injector) DegradeHistory(tr *trace.Trace, slot int) *trace.Trace {
 func (in *Injector) LaunchBlocked(t instances.Type, slot int) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.regionOutage(slot) {
+		return true
+	}
 	if in.cfg.OutageRate <= 0 {
 		return false
 	}
@@ -259,6 +293,30 @@ func (in *Injector) LaunchBlocked(t instances.Type, slot int) bool {
 	}
 	in.outageNext[t] = slot + 1
 	return slot < in.outageUntil[t]
+}
+
+// regionOutage advances the region-wide outage schedule through slot
+// and reports whether an outage is active there. Starts are drawn once
+// per slot no matter which caller (APIFault, LaunchBlocked) asks first
+// or how often, so determinism doesn't depend on call multiplicity.
+// A zero rate consumes no randomness. Callers hold in.mu.
+func (in *Injector) regionOutage(slot int) bool {
+	if in.cfg.RegionOutageRate <= 0 {
+		return false
+	}
+	for s := in.regionNext; s <= slot; s++ {
+		if s < in.cfg.RegionOutageAfter {
+			continue
+		}
+		if s >= in.regionUntil && in.rng.Float64() < in.cfg.RegionOutageRate {
+			in.regionUntil = s + in.cfg.RegionOutageSlots
+			in.stats.RegionOutages++
+		}
+	}
+	if slot+1 > in.regionNext {
+		in.regionNext = slot + 1
+	}
+	return slot < in.regionUntil
 }
 
 // OutbidDelay implements cloud.FaultInjector: with probability

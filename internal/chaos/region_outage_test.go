@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/retry"
+)
+
+// TestRegionOutageCorrelatesFaults: during a region-wide outage every
+// API op fails transiently AND every market refuses launches — the
+// correlated incident signature, unlike the per-market OutageRate.
+func TestRegionOutageCorrelatesFaults(t *testing.T) {
+	in := New(Config{RegionOutageRate: 1, RegionOutageSlots: 4})
+	for _, op := range []cloud.Op{cloud.OpPriceHistory, cloud.OpSubmit, cloud.OpCancel, cloud.OpTerminate} {
+		err := in.APIFault(op, 0)
+		if err == nil {
+			t.Fatalf("%s: no fault during region outage", op)
+		}
+		if !retry.IsTransient(err) {
+			t.Fatalf("%s: region-outage fault not transient: %v", op, err)
+		}
+	}
+	for _, typ := range []instances.Type{instances.R3XLarge, instances.C34XL} {
+		if !in.LaunchBlocked(typ, 0) {
+			t.Errorf("%s: launch not blocked during region outage", typ)
+		}
+	}
+}
+
+// TestRegionOutageDrawsOncePerSlot: episode starts are drawn once per
+// slot no matter which hook asks first or how often, so the schedule
+// doesn't depend on API call multiplicity.
+func TestRegionOutageDrawsOncePerSlot(t *testing.T) {
+	run := func(callsPerSlot int) int {
+		in := New(Config{Seed: 5, RegionOutageRate: 0.3, RegionOutageSlots: 2})
+		for slot := 0; slot < 200; slot++ {
+			for c := 0; c < callsPerSlot; c++ {
+				in.APIFault(cloud.OpSubmit, slot)
+				in.LaunchBlocked(instances.R3XLarge, slot)
+			}
+		}
+		return in.Stats().RegionOutages
+	}
+	once, many := run(1), run(7)
+	if once == 0 {
+		t.Fatal("rate 0.3 started no region outages in 200 slots")
+	}
+	if once != many {
+		t.Errorf("outage starts depend on call multiplicity: %d vs %d", once, many)
+	}
+}
+
+// TestRegionOutageWindow: with rate 1 and RegionOutageAfter pinning the
+// start, the outage covers exactly [after, after+slots) and then a new
+// episode begins — the deterministic failure window the fleet's forced
+// failover drills use.
+func TestRegionOutageWindow(t *testing.T) {
+	in := New(Config{RegionOutageRate: 1, RegionOutageAfter: 10, RegionOutageSlots: 5})
+	for slot := 0; slot < 10; slot++ {
+		if err := in.APIFault(cloud.OpSubmit, slot); err != nil {
+			t.Fatalf("slot %d before the window faulted: %v", slot, err)
+		}
+		if in.LaunchBlocked(instances.R3XLarge, slot) {
+			t.Fatalf("slot %d before the window blocked", slot)
+		}
+	}
+	for slot := 10; slot < 20; slot++ {
+		if err := in.APIFault(cloud.OpSubmit, slot); err == nil {
+			t.Fatalf("slot %d inside the rate-1 window did not fault", slot)
+		}
+	}
+	if in.Stats().RegionOutages != 2 {
+		t.Errorf("episodes = %d, want 2 back-to-back 5-slot episodes over 10 slots", in.Stats().RegionOutages)
+	}
+}
+
+// TestRegionOutageZeroRateConsumesNoRNG: an injector with only the
+// region-outage knob at zero leaves the RNG stream untouched, so
+// adding the field keeps zero-rate runs bit-identical.
+func TestRegionOutageZeroRateConsumesNoRNG(t *testing.T) {
+	a := New(Config{Seed: 9, APIFaultRate: 0.5})
+	b := New(Config{Seed: 9, APIFaultRate: 0.5, RegionOutageSlots: 7, RegionOutageAfter: 3})
+	var faultsA, faultsB int
+	for slot := 0; slot < 500; slot++ {
+		// b consults the region-outage path first on both hooks; at zero
+		// rate it must not advance the stream a never sees.
+		if b.LaunchBlocked(instances.R3XLarge, slot) {
+			t.Fatalf("zero-rate region outage blocked slot %d", slot)
+		}
+		if a.APIFault(cloud.OpSubmit, slot) != nil {
+			faultsA++
+		}
+		if b.APIFault(cloud.OpSubmit, slot) != nil {
+			faultsB++
+		}
+	}
+	if faultsA != faultsB {
+		t.Errorf("zero-rate region outage perturbed the RNG: %d vs %d api faults", faultsA, faultsB)
+	}
+	if got := b.Stats().RegionOutages; got != 0 {
+		t.Errorf("zero-rate injector recorded %d region outages", got)
+	}
+}

@@ -24,6 +24,11 @@ import (
 // restarts from that older state, redoing the work done since.
 var ErrWriteFailed = errors.New("checkpoint: write failed")
 
+// ErrNotFound reports that a job has no durable checkpoint on the
+// volume. Export wraps it; migration code branches with errors.Is
+// (a job with no checkpoint restarts from scratch in the new region).
+var ErrNotFound = errors.New("checkpoint: no record")
+
 // Record is one saved checkpoint.
 type Record struct {
 	// JobID identifies the job the state belongs to.
@@ -119,6 +124,48 @@ func (v *Volume) Peek(jobID string) (Record, bool) {
 	defer v.mu.Unlock()
 	rec, ok := v.records[jobID]
 	return rec, ok
+}
+
+// Export returns the job's last durable checkpoint for migration to
+// another volume, without counting a resumption. Only records that
+// survived Save are visible here: a torn (failed) write never reaches
+// the store, so migration always carries the last durable state. Jobs
+// that have never checkpointed report an error wrapping ErrNotFound.
+func (v *Volume) Export(jobID string) (Record, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rec, ok := v.records[jobID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w for job %q", ErrNotFound, jobID)
+	}
+	v.met.Counter("checkpoint.exports").Inc()
+	return rec, nil
+}
+
+// Import installs a record exported from another volume — the
+// cross-region half of a migration. It goes through the same write
+// path as Save: the fault hook is consulted (an injected failure loses
+// the import, leaving any previous record for the job intact), and the
+// audit history records the arrival.
+func (v *Volume) Import(rec Record) error {
+	if rec.JobID == "" {
+		return fmt.Errorf("checkpoint: import of record with empty job ID")
+	}
+	if rec.Remaining < 0 {
+		return fmt.Errorf("checkpoint: import of negative remaining work %v", float64(rec.Remaining))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.fault != nil {
+		if err := v.fault(rec.JobID, rec.Slot); err != nil {
+			v.met.Counter("checkpoint.save_failures").Inc()
+			return err
+		}
+	}
+	v.met.Counter("checkpoint.imports").Inc()
+	v.records[rec.JobID] = rec
+	v.history = append(v.history, rec)
+	return nil
 }
 
 // Delete removes a job's checkpoint (e.g. after completion).

@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/retry"
+)
+
+// failNext injects ErrWriteFailed into the next n writes.
+func failNext(v *Volume, n *int) {
+	v.SetWriteFault(func(jobID string, slot int) error {
+		if *n > 0 {
+			*n--
+			return retry.Transient(fmt.Errorf("%w: injected", ErrWriteFailed))
+		}
+		return nil
+	})
+}
+
+// TestExportImportRoundTrip: a migrated record arrives on the target
+// volume exactly as exported, lands in the audit history, and does not
+// count as a resumption on either side.
+func TestExportImportRoundTrip(t *testing.T) {
+	src, dst := NewVolume(), NewVolume()
+	if err := src.Save("job", 7, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := src.Export("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Import(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Peek("job")
+	if !ok || got != rec {
+		t.Fatalf("imported record %+v, want %+v", got, rec)
+	}
+	if got.Resumptions != 0 {
+		t.Errorf("migration counted %d resumptions", got.Resumptions)
+	}
+	if h := dst.History(); len(h) != 1 || h[0] != rec {
+		t.Errorf("audit history %+v, want the imported record", h)
+	}
+	if _, err := dst.Export("other"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("export of unknown job: %v, want ErrNotFound", err)
+	}
+}
+
+// TestExportSeesOnlyDurableState: a failed Save must not tear the
+// store — Export returns the last record that actually survived a
+// write, never a partial or newer-but-lost one.
+func TestExportSeesOnlyDurableState(t *testing.T) {
+	v := NewVolume()
+	if err := v.Save("job", 3, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	n := 1
+	failNext(v, &n)
+	if err := v.Save("job", 9, 0.5); !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("injected save: %v, want ErrWriteFailed", err)
+	}
+	rec, err := v.Export("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slot != 3 || rec.Remaining != 2.0 {
+		t.Errorf("export after failed save = %+v, want the slot-3 durable record", rec)
+	}
+	// The lost write never reached the audit log either.
+	if h := v.History(); len(h) != 1 {
+		t.Errorf("audit log has %d entries, want 1: torn write leaked", len(h))
+	}
+	// The next durable save is visible again.
+	if err := v.Save("job", 11, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := v.Export("job"); rec.Slot != 11 || rec.Remaining != 0.25 {
+		t.Errorf("export after recovery = %+v, want the slot-11 record", rec)
+	}
+}
+
+// TestExportNothingDurable: every write lost → no record, ErrNotFound
+// — the migration caller restarts the job from scratch, never from a
+// torn record.
+func TestExportNothingDurable(t *testing.T) {
+	v := NewVolume()
+	n := 100
+	failNext(v, &n)
+	for i := 0; i < 5; i++ {
+		if err := v.Save("job", i, 1.0); !errors.Is(err, ErrWriteFailed) {
+			t.Fatalf("save %d: %v, want ErrWriteFailed", i, err)
+		}
+	}
+	if _, err := v.Export("job"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("export: %v, want ErrNotFound", err)
+	}
+	if h := v.History(); len(h) != 0 {
+		t.Errorf("audit log has %d entries, want 0", len(h))
+	}
+}
+
+// TestImportWriteFailureKeepsOldRecord: a failed Import loses the
+// transfer but leaves the target's previous record for the job intact.
+func TestImportWriteFailureKeepsOldRecord(t *testing.T) {
+	v := NewVolume()
+	if err := v.Save("job", 2, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	n := 1
+	failNext(v, &n)
+	err := v.Import(Record{JobID: "job", Slot: 8, Remaining: 0.5})
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("injected import: %v, want ErrWriteFailed", err)
+	}
+	rec, err := v.Export("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slot != 2 || rec.Remaining != 3.0 {
+		t.Errorf("record after failed import = %+v, want the original", rec)
+	}
+	// Retrying the import succeeds once the fault clears.
+	if err := v.Import(Record{JobID: "job", Slot: 8, Remaining: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := v.Export("job"); rec.Slot != 8 || rec.Remaining != 0.5 {
+		t.Errorf("record after retried import = %+v", rec)
+	}
+}
+
+// TestImportValidation: malformed records are rejected before the
+// write path.
+func TestImportValidation(t *testing.T) {
+	v := NewVolume()
+	if err := v.Import(Record{JobID: "", Slot: 1, Remaining: 1}); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	if err := v.Import(Record{JobID: "job", Slot: 1, Remaining: -1}); err == nil {
+		t.Error("negative remaining accepted")
+	}
+}

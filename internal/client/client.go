@@ -53,13 +53,63 @@ type Client struct {
 	// policy. Nil — the default — records nothing and keeps seeded
 	// runs bit-identical to an uninstrumented client.
 	Metrics *obs.Registry
+	// Ticker, when non-nil, replaces Region.Tick in every run loop the
+	// client drives. The fleet controller (internal/fleet) installs one
+	// that advances all of its regions in lockstep and runs circuit-
+	// breaker bookkeeping between slots; an error it returns (other
+	// than cloud.ErrEndOfTrace, which ends the run normally) aborts the
+	// run and propagates to the caller. Nil — the default — ticks only
+	// the client's own region, exactly as before.
+	Ticker func() error
+	// Delegate, when non-nil, is consulted before the client falls
+	// back to on-demand on its own (degenerate bid, exhausted submit
+	// budget, stall watchdog). A veto returns ErrFallbackVetoed to the
+	// caller instead — the fleet controller vetoes when another healthy
+	// region can take the job. Nil — the default — keeps the client
+	// fully autonomous.
+	Delegate FallbackDelegate
 
 	// lastGood caches the most recent successfully fetched F_π
 	// estimate per type: the price monitor's degraded-mode fallback
 	// when live history fetches exhaust their retry budget.
 	mu       sync.Mutex
 	lastGood map[instances.Type]cachedECDF
+	// active is the spot tracker of the run in flight (nil outside
+	// runs and for on-demand runs). A controller that aborted a run
+	// via its Ticker reads the job's progress from here.
+	active *job.Tracker
 }
+
+// FallbackReason tells a FallbackDelegate why the client wants to
+// abandon its spot attempt and finish on-demand.
+type FallbackReason string
+
+const (
+	// ReasonDegenerateBid: degraded telemetry priced the optimum at a
+	// non-positive bid the cloud would reject.
+	ReasonDegenerateBid FallbackReason = "degenerate-bid"
+	// ReasonSubmitExhausted: the spot submission retry budget ran out.
+	ReasonSubmitExhausted FallbackReason = "submit-exhausted"
+	// ReasonStall: the stall watchdog fired on a bid priced from
+	// degraded telemetry. The spot request is already cancelled when
+	// the delegate is consulted.
+	ReasonStall FallbackReason = "stall"
+)
+
+// FallbackDelegate lets an attached controller veto the client's
+// autonomous on-demand fallback. AllowOnDemand reports whether the
+// client should run the fallback itself; a false return surfaces
+// ErrFallbackVetoed to the caller, which then owns the job's fate
+// (e.g. migrating it to another region).
+type FallbackDelegate interface {
+	AllowOnDemand(spec job.Spec, reason FallbackReason) bool
+}
+
+// ErrFallbackVetoed reports that the client wanted to fall back to
+// on-demand but its Delegate vetoed the substitution. The job's spot
+// request, if any was ever submitted, is cancelled; progress is
+// recoverable through Active and the checkpoint volume.
+var ErrFallbackVetoed = errors.New("client: on-demand fallback vetoed by delegate")
 
 // cachedECDF is a price-monitor snapshot: the ECDF plus the slot it
 // was fetched at.
@@ -150,11 +200,61 @@ func (t Telemetry) Degraded() bool {
 // submit jobs "at random times of the day" as in §7.1.
 func (c *Client) Skip(n int) error {
 	for i := 0; i < n; i++ {
-		if err := c.Region.Tick(); err != nil {
+		if err := c.tick(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// tick advances simulated time one slot: through the Ticker when a
+// controller installed one, directly on the region otherwise.
+func (c *Client) tick() error {
+	if c.Ticker != nil {
+		return c.Ticker()
+	}
+	return c.Region.Tick()
+}
+
+// run drives a tracker to completion, mirroring job.Run exactly but
+// advancing time through tick so an attached controller stays in the
+// loop. Without a Ticker it delegates to job.Run itself — the
+// historical code path, bit for bit.
+func (c *Client) run(t *job.Tracker) (job.Outcome, error) {
+	if c.Ticker == nil {
+		return job.Run(c.Region, t)
+	}
+	for !t.Done() {
+		if err := c.tick(); err != nil {
+			if errors.Is(err, cloud.ErrEndOfTrace) {
+				return t.Outcome(), nil
+			}
+			return job.Outcome{}, err
+		}
+		if err := t.Observe(); err != nil {
+			return job.Outcome{}, err
+		}
+	}
+	return t.Outcome(), nil
+}
+
+// Active returns the tracker of the run currently (or most recently)
+// in flight, nil when the last run never acquired resources. Every
+// public Run entrypoint clears it up front, so a run that fails before
+// submission can never expose a predecessor's tracker. A controller
+// whose Ticker aborted a run reads the job's remaining work from here
+// before migrating it.
+func (c *Client) Active() *job.Tracker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// setActive records (or, with nil, clears) the in-flight spot tracker.
+func (c *Client) setActive(t *job.Tracker) {
+	c.mu.Lock()
+	c.active = t
+	c.mu.Unlock()
 }
 
 // Market builds the bid-calculator view of an instance type's market:
@@ -276,6 +376,7 @@ type Report struct {
 // RunOneTime prices the job with Prop. 4 and runs it on a one-time
 // spot request.
 func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
+	c.setActive(nil)
 	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
@@ -290,6 +391,7 @@ func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
 // RunPersistent prices the job with Prop. 5 and runs it on a
 // persistent spot request.
 func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
+	c.setActive(nil)
 	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
@@ -304,6 +406,7 @@ func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
 // RunPercentile bids the q-th percentile of the observed prices — the
 // §7.1 "bid the 90th percentile" baseline.
 func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind) (Report, error) {
+	c.setActive(nil)
 	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
@@ -322,6 +425,7 @@ func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind)
 // RunFixedBid runs the job at an explicit bid price (e.g. the
 // best-offline-in-retrospect baseline).
 func (c *Client) RunFixedBid(name string, spec job.Spec, price float64, kind cloud.RequestKind) (Report, error) {
+	c.setActive(nil)
 	m, tel, err := c.market(spec.Type)
 	if err != nil {
 		return Report{}, err
@@ -357,11 +461,13 @@ func (c *Client) eval(m core.Market, spec job.Spec, price float64, kind cloud.Re
 // RunOnDemand runs the job on an on-demand instance — the cost
 // baseline of every figure.
 func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
+	c.setActive(nil)
 	tracker, err := job.NewOnDemandJob(c.Region, spec)
 	if err != nil {
 		return Report{}, err
 	}
-	out, err := job.Run(c.Region, tracker)
+	c.setActive(tracker)
+	out, err := c.run(tracker)
 	if err != nil {
 		return Report{}, err
 	}
@@ -381,11 +487,16 @@ func (c *Client) attachMetrics(rep *Report) {
 }
 
 func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind, tel Telemetry) (Report, error) {
+	c.setActive(nil)
 	span := c.Metrics.StartSpan("client.job_slots", c.Region.Now())
 	// Degrade gracefully via the existing on-demand path (§3.2's
 	// playbook). The strategy keeps its name; Telemetry records the
 	// substitution, and BidPrice stays 0 — no bid was ever placed.
-	fallback := func() (Report, error) {
+	fallback := func(reason FallbackReason) (Report, error) {
+		if c.Delegate != nil && !c.Delegate.AllowOnDemand(spec, reason) {
+			c.Metrics.Counter("client.fallback.vetoed").Inc()
+			return Report{}, fmt.Errorf("%s: %w", reason, ErrFallbackVetoed)
+		}
 		c.Metrics.Counter("client.fallback.on_demand").Inc()
 		rep, err := c.RunOnDemand(spec)
 		if err != nil {
@@ -404,7 +515,7 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 		// optimum to a degenerate (non-positive) bid the cloud would
 		// reject; a bid that can never run is as good as no bid.
 		c.Metrics.Counter("client.bids.degenerate").Inc()
-		return fallback()
+		return fallback(ReasonDegenerateBid)
 	}
 	if c.Metrics != nil {
 		c.Metrics.Histogram("client.bid_usd", obs.PriceBuckets).Observe(analytic.Price)
@@ -416,8 +527,9 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 		}
 		// Submission budget exhausted.
 		c.Metrics.Counter("client.submit.exhausted").Inc()
-		return fallback()
+		return fallback(ReasonSubmitExhausted)
 	}
+	c.setActive(tracker)
 	out, err := c.superviseSpot(tracker, spec, &tel)
 	if err != nil {
 		return Report{}, err
@@ -442,7 +554,7 @@ const DefaultStallSlots = 48
 // on-demand (§3.2's completion-control playbook).
 func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemetry) (job.Outcome, error) {
 	if !tel.Degraded() {
-		return job.Run(c.Region, tracker)
+		return c.run(tracker)
 	}
 	stall := c.StallSlots
 	if stall <= 0 {
@@ -450,7 +562,7 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 	}
 	idle := 0
 	for !tracker.Done() {
-		if err := c.Region.Tick(); err != nil {
+		if err := c.tick(); err != nil {
 			if errors.Is(err, cloud.ErrEndOfTrace) {
 				return tracker.Outcome(), nil
 			}
@@ -483,6 +595,12 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 				continue
 			}
 		}
+		if c.Delegate != nil && !c.Delegate.AllowOnDemand(spec, ReasonStall) {
+			// The request is already released; the controller owns the
+			// remainder (tracker progress is reachable via Active).
+			c.Metrics.Counter("client.fallback.vetoed").Inc()
+			return job.Outcome{}, fmt.Errorf("%s: %w", ReasonStall, ErrFallbackVetoed)
+		}
 		tel.Stalled = true
 		tel.FellBackOnDemand = true
 		c.Metrics.Counter("client.stall_fires").Inc()
@@ -501,7 +619,7 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 		if err != nil {
 			return job.Outcome{}, err
 		}
-		fbOut, err := job.Run(c.Region, fb)
+		fbOut, err := c.run(fb)
 		if err != nil {
 			return job.Outcome{}, err
 		}

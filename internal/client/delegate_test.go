@@ -1,0 +1,93 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/obs"
+)
+
+// recordingDelegate approves or vetoes every fallback and records the
+// reasons it was consulted with.
+type recordingDelegate struct {
+	allow   bool
+	reasons []FallbackReason
+}
+
+func (d *recordingDelegate) AllowOnDemand(spec job.Spec, reason FallbackReason) bool {
+	d.reasons = append(d.reasons, reason)
+	return d.allow
+}
+
+// TestDelegateVetoesDegenerateBid: with a supervisor that can place the
+// job elsewhere, a degenerate bid must NOT fall back on-demand — the
+// run fails with ErrFallbackVetoed and nothing is ever billed.
+func TestDelegateVetoesDegenerateBid(t *testing.T) {
+	c := stallClient(t, 200)
+	c.SetMetrics(obs.New())
+	del := &recordingDelegate{allow: false}
+	c.Delegate = del
+	_, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0}, cloud.Persistent, Telemetry{RejectedQuotes: 3})
+	if !errors.Is(err, ErrFallbackVetoed) {
+		t.Fatalf("err = %v, want ErrFallbackVetoed", err)
+	}
+	if len(del.reasons) != 1 || del.reasons[0] != ReasonDegenerateBid {
+		t.Errorf("delegate consulted with %v, want [%s]", del.reasons, ReasonDegenerateBid)
+	}
+	if c.Region.TotalCost() != 0 {
+		t.Errorf("vetoed run billed %v", c.Region.TotalCost())
+	}
+	if got := c.Metrics.CounterValue("client.fallback.vetoed"); got != 1 {
+		t.Errorf("client.fallback.vetoed = %d, want 1", got)
+	}
+}
+
+// TestDelegateAllowsFallback: an approving delegate preserves the
+// pre-delegate behavior — the degraded run degrades to on-demand.
+func TestDelegateAllowsFallback(t *testing.T) {
+	c := stallClient(t, 200)
+	del := &recordingDelegate{allow: true}
+	c.Delegate = del
+	rep, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0}, cloud.Persistent, Telemetry{RejectedQuotes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Telemetry.FellBackOnDemand || !rep.Outcome.Completed {
+		t.Fatalf("telemetry %+v completed=%v: fallback did not run", rep.Telemetry, rep.Outcome.Completed)
+	}
+	if len(del.reasons) != 1 {
+		t.Errorf("delegate consulted %d times, want 1", len(del.reasons))
+	}
+}
+
+// TestDelegateVetoesStall: the stall watchdog cancels the unservable
+// bid, then defers to the delegate; on veto the run surfaces
+// ErrFallbackVetoed with the aborted tracker still readable — exactly
+// what a fleet controller needs to migrate the job.
+func TestDelegateVetoesStall(t *testing.T) {
+	c := stallClient(t, 200)
+	del := &recordingDelegate{allow: false}
+	c.Delegate = del
+	_, err := c.runSpot("probe", stallSpec, core.Bid{Price: 0.05}, cloud.Persistent, Telemetry{RejectedQuotes: 3})
+	if !errors.Is(err, ErrFallbackVetoed) {
+		t.Fatalf("err = %v, want ErrFallbackVetoed", err)
+	}
+	if len(del.reasons) != 1 || del.reasons[0] != ReasonStall {
+		t.Errorf("delegate consulted with %v, want [%s]", del.reasons, ReasonStall)
+	}
+	tracker := c.Active()
+	if tracker == nil {
+		t.Fatal("no active tracker after vetoed stall")
+	}
+	if got := tracker.Remaining(); got != stallSpec.Exec {
+		t.Errorf("remaining %v, want the full exec %v", float64(got), float64(stallSpec.Exec))
+	}
+	// The watchdog cancelled the stalled request before consulting the
+	// delegate: no request is left to leak.
+	if req := tracker.Request(); req == nil || req.State != cloud.Cancelled {
+		t.Errorf("stalled request not cancelled: %+v", req)
+	}
+}

@@ -58,6 +58,7 @@ func (c *Client) RunOneTimeWithFallback(spec job.Spec) (FallbackReport, error) {
 	if err != nil {
 		return FallbackReport{}, err
 	}
+	c.setActive(nil)
 	tracker, err := c.submitSpot(spec, bid.Price, cloud.OneTime, &tel)
 	if err != nil {
 		if !retry.IsTransient(err) {
@@ -79,7 +80,8 @@ func (c *Client) RunOneTimeWithFallback(spec job.Spec) (FallbackReport, error) {
 			Completed:  odRep.Outcome.Completed,
 		}, nil
 	}
-	out, err := job.Run(c.Region, tracker)
+	c.setActive(tracker)
+	out, err := c.run(tracker)
 	if err != nil {
 		return FallbackReport{}, err
 	}
@@ -114,7 +116,7 @@ func (c *Client) RunOneTimeWithFallback(spec job.Spec) (FallbackReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	fbOut, err := job.Run(c.Region, fb)
+	fbOut, err := c.run(fb)
 	if err != nil {
 		return rep, err
 	}

@@ -185,8 +185,15 @@ type Event struct {
 // the simulation horizon is over.
 var ErrEndOfTrace = errors.New("cloud: price trace exhausted")
 
+// ErrNotFound reports a lookup of a request or instance ID the region
+// has never issued. Region.Request and Region.Instance wrap it, so
+// cross-region code (the fleet controller migrating jobs between
+// regions) branches with errors.Is instead of string matching.
+var ErrNotFound = errors.New("cloud: not found")
+
 // Region is the simulated EC2 region.
 type Region struct {
+	id       string
 	clock    *timeslot.Clock
 	traces   map[instances.Type]*trace.Trace
 	requests map[string]*SpotRequest
@@ -238,6 +245,14 @@ func NewRegion(traces ...*trace.Trace) (*Region, error) {
 	return r, nil
 }
 
+// SetID names the region (e.g. "us-east-1a"). Regions are anonymous by
+// default; the fleet controller names its members so failover schedules
+// and metrics can refer to them.
+func (r *Region) SetID(id string) { r.id = id }
+
+// ID reports the region's name ("" when never set).
+func (r *Region) ID() string { return r.id }
+
 // Now reports the current slot index.
 func (r *Region) Now() int { return r.clock.Now() }
 
@@ -284,20 +299,22 @@ func (r *Region) PriceHistory(t instances.Type, h timeslot.Hours) (*trace.Trace,
 // Events returns the event log (shared; callers must not modify).
 func (r *Region) Events() []Event { return r.events }
 
-// Request returns a spot request by ID.
+// Request returns a spot request by ID. Unknown IDs report an error
+// wrapping ErrNotFound.
 func (r *Region) Request(id string) (*SpotRequest, error) {
 	req, ok := r.requests[id]
 	if !ok {
-		return nil, fmt.Errorf("cloud: unknown spot request %q", id)
+		return nil, fmt.Errorf("%w: unknown spot request %q", ErrNotFound, id)
 	}
 	return req, nil
 }
 
-// Instance returns an instance by ID.
+// Instance returns an instance by ID. Unknown IDs report an error
+// wrapping ErrNotFound.
 func (r *Region) Instance(id string) (*Instance, error) {
 	inst, ok := r.insts[id]
 	if !ok {
-		return nil, fmt.Errorf("cloud: unknown instance %q", id)
+		return nil, fmt.Errorf("%w: unknown instance %q", ErrNotFound, id)
 	}
 	return inst, nil
 }

@@ -183,8 +183,21 @@ func TestCancelSpotRequest(t *testing.T) {
 	if err := r.CancelSpotRequest(req.ID); err == nil {
 		t.Error("double cancel accepted")
 	}
-	if err := r.CancelSpotRequest("sir-999999"); err == nil {
-		t.Error("unknown request accepted")
+	if err := r.CancelSpotRequest("sir-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown request: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupsWrapErrNotFound(t *testing.T) {
+	r := region(t, []float64{0.03})
+	if _, err := r.Request("sir-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Request: err = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Instance("i-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Instance: err = %v, want ErrNotFound", err)
+	}
+	if err := r.TerminateInstance("i-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("TerminateInstance: err = %v, want ErrNotFound", err)
 	}
 }
 

@@ -1,0 +1,141 @@
+// External test package: the chaos CSV-corruption corpus lives in a
+// package that imports cloud, so seeding from it here would otherwise
+// be an import cycle.
+package cloud_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// historyCSV serializes a small well-formed r3.xlarge history.
+func historyCSV(tb testing.TB, n int) []byte {
+	tb.Helper()
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = 0.03 + 0.001*float64(i%7)
+	}
+	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkHistory verifies the PriceHistory contract against the source
+// trace: a non-empty window of at most now+1 slots, tail-aligned with
+// the live market (the last quote IS the current price), and no longer
+// than the requested hours plus the ceil slop of one slot.
+func checkHistory(t *testing.T, r *cloud.Region, src *trace.Trace, hist *trace.Trace, h float64) {
+	t.Helper()
+	now := r.Now()
+	n := hist.Len()
+	if n == 0 {
+		t.Fatal("accepted an empty history")
+	}
+	if n > now+1 {
+		t.Fatalf("history has %d slots but only %d have elapsed", n, now+1)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := hist.At(i), src.At(now+1-n+i); got != want {
+			t.Fatalf("history slot %d = %v, want source slot %d = %v", i, got, now+1-n+i, want)
+		}
+	}
+	slot := float64(r.Grid().Slot)
+	if h > 0 && !math.IsInf(h, 0) && float64(hist.Duration()) > h+slot {
+		t.Fatalf("window %vh exceeds requested %vh", float64(hist.Duration()), h)
+	}
+}
+
+// FuzzPriceHistory drives the DescribeSpotPriceHistory surface across
+// window and horizon boundaries — zero, negative, NaN, and
+// longer-than-elapsed windows at the trace's first, middle, and final
+// slots — seeded with realistic damage from the chaos CSV-corruption
+// corpus. The invariant: PriceHistory either rejects the call or
+// returns a tail-aligned, bounded, non-empty window. Explore with
+// `go test -fuzz=FuzzPriceHistory ./internal/cloud`.
+func FuzzPriceHistory(f *testing.F) {
+	base := historyCSV(f, 48)
+	f.Add(string(base), 1.0, 10)
+	f.Add(string(base), 0.0, 0)
+	f.Add(string(base), -3.5, 5)
+	f.Add(string(base), math.NaN(), 3)
+	f.Add(string(base), 1e9, 47)
+	f.Add(string(base), float64(timeslot.DefaultSlot), 1)
+	for ci, c := range chaos.CSVCorruptions {
+		rng := rand.New(rand.NewSource(int64(ci + 1)))
+		f.Add(string(c.Apply(rng, base)), 2.0, 7)
+	}
+	f.Fuzz(func(t *testing.T, input string, h float64, ticks int) {
+		src, err := trace.ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		r, err := cloud.NewRegion(src)
+		if err != nil {
+			return
+		}
+		if ticks < 0 {
+			ticks = -ticks
+		}
+		ticks %= src.Len() + 2 // wander past the horizon too
+		for i := 0; i < ticks; i++ {
+			if err := r.Tick(); err != nil {
+				break // ErrEndOfTrace: stay parked on the last slot
+			}
+		}
+		hist, err := r.PriceHistory(src.Type, timeslot.Hours(h))
+		if err != nil {
+			return
+		}
+		checkHistory(t, r, src, hist, h)
+	})
+}
+
+// TestPriceHistoryBoundaries is the deterministic slice of the fuzz
+// target, exercised on every plain `go test` run.
+func TestPriceHistoryBoundaries(t *testing.T) {
+	src, err := trace.ReadCSV(bytes.NewReader(historyCSV(t, 48)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := float64(timeslot.DefaultSlot)
+	for _, ticks := range []int{0, 1, 24, 47} {
+		r, err := cloud.NewRegion(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ticks; i++ {
+			if err := r.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, h := range []float64{-1, 0, slot / 2, slot, 1, 3.999, 4, 1e9} {
+			hist, err := r.PriceHistory(src.Type, timeslot.Hours(h))
+			if err != nil {
+				if h > 0 {
+					t.Errorf("ticks=%d h=%v: positive window rejected: %v", ticks, h, err)
+				}
+				continue
+			}
+			if h <= 0 {
+				t.Errorf("ticks=%d h=%v: non-positive window accepted", ticks, h)
+				continue
+			}
+			checkHistory(t, r, src, hist, h)
+		}
+	}
+}

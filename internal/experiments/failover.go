@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// failoverRegionCounts is the fleet-size axis of the sweep.
+var failoverRegionCounts = []int{1, 2, 3}
+
+// failoverRates is the region-outage axis: the per-slot probability
+// that the job's home region (member 0) suffers a correlated
+// region-wide outage. 1.0 is the forced outage of the acceptance
+// criterion — the home region is down for the entire run.
+var failoverRates = []float64{0, 0.01, 1.0}
+
+// FailoverRow is one (regions, outage-rate) cell of the sweep.
+type FailoverRow struct {
+	// Regions is the fleet size.
+	Regions int
+	// Rate is the home region's per-slot region-outage probability.
+	Rate float64
+	// Completed counts runs whose job finished all its work (spot or
+	// escalated); Lost counts runs where it did not; Errored counts
+	// runs that failed outright.
+	Completed, Lost, Errored, Runs int
+	// MeanFleetCost averages the fleet's total bill (leaked slots
+	// included) over completed runs; MeanCompletion the wall-clock time.
+	MeanFleetCost  float64
+	MeanCompletion timeslot.Hours
+	// MeanOnDemand is the all-on-demand baseline cost measured on the
+	// same traces and submission slots.
+	MeanOnDemand float64
+	// Savings is 1 − MeanFleetCost/MeanOnDemand over completed runs.
+	Savings float64
+	// Trips, Migrations, Escalations sum the fleet counters over runs.
+	Trips, Migrations, Escalations int
+}
+
+// FailoverResult is the graceful-degradation table.
+type FailoverResult struct{ Rows []FailoverRow }
+
+// failoverSpec is the job every cell runs: the §7.1 single-job
+// workload with a 30-second recovery.
+func failoverSpec(typ instances.Type) job.Spec {
+	return job.Spec{ID: "failover-job", Type: typ, Exec: 1, Recovery: timeslot.Seconds(30)}
+}
+
+// failoverRun executes one fleet job: n regions with independent
+// generated traces on a shared slot clock, the home region armed with
+// a correlated region-outage chaos profile at the given rate, the
+// siblings fault-free. It returns the fleet report plus the
+// all-on-demand baseline cost measured on an identical home region.
+func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Registry) (fleet.Report, float64, error) {
+	typ := instances.R3XLarge
+	spec := failoverSpec(typ)
+	members := make([]fleet.Member, n)
+	for i := 0; i < n; i++ {
+		tr, err := trace.Generate(typ, trace.GenOptions{Days: days, Seed: seed + int64(i)*4099})
+		if err != nil {
+			return fleet.Report{}, 0, err
+		}
+		region, err := cloudRegion(tr)
+		if err != nil {
+			return fleet.Report{}, 0, err
+		}
+		cl, err := client.New(region)
+		if err != nil {
+			return fleet.Report{}, 0, err
+		}
+		cl.SetMetrics(obs.New())
+		if i == 0 && rate > 0 {
+			inj := chaos.New(chaos.Config{Seed: seed*31 + 1, RegionOutageRate: rate, RegionOutageSlots: 36})
+			inj.Arm(region, cl.Volume)
+		}
+		members[i] = fleet.Member{ID: fmt.Sprintf("region-%d", i), Region: region, Client: cl}
+	}
+	ctl, err := fleet.NewController(fleet.Config{
+		MigrationPenalty: timeslot.Seconds(60),
+		Metrics:          met,
+	}, members...)
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+	if err := ctl.Skip(historySlots + offset); err != nil {
+		return fleet.Report{}, 0, err
+	}
+	rep, err := ctl.RunPersistent(spec)
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+
+	// All-on-demand baseline: the same job on a pristine copy of the
+	// home region's trace, submitted at the same slot.
+	baseTr, err := trace.Generate(typ, trace.GenOptions{Days: days, Seed: seed})
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+	baseRegion, err := cloudRegion(baseTr)
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+	baseCl, err := client.New(baseRegion)
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+	if err := baseCl.Skip(historySlots + offset); err != nil {
+		return fleet.Report{}, 0, err
+	}
+	baseRep, err := baseCl.RunOnDemand(spec)
+	if err != nil {
+		return fleet.Report{}, 0, err
+	}
+	return rep, baseRep.Outcome.Cost, nil
+}
+
+// FailoverSweep measures graceful degradation: persistent fleet jobs
+// versus fleet size and home-region outage rate. The paper's client
+// was chained to one region; the sweep quantifies what §3.2's
+// "default to on-demand" playbook costs there (the 1-region column)
+// and what cross-market failover recovers (the multi-region columns):
+// under a forced home-region outage a ≥2-region fleet completes every
+// job on spot capacity, strictly cheaper than all-on-demand.
+func FailoverSweep(o Opts) (FailoverResult, error) {
+	o = o.withDefaults()
+	var res FailoverResult
+	for _, rate := range failoverRates {
+		for ni, n := range failoverRegionCounts {
+			row := FailoverRow{Regions: n, Rate: rate, Runs: o.Runs}
+			offs := offsets(o.Runs, o.Seed+int64(ni))
+			type runResult struct {
+				rep  fleet.Report
+				base float64
+				met  *obs.Registry
+				err  error
+			}
+			results := make([]runResult, o.Runs)
+			err := forEachRun(o.Runs, func(run int) error {
+				seed := o.Seed + int64(ni)*2003 + int64(run)*7919
+				met := obs.New()
+				rep, base, err := failoverRun(n, rate, seed, offs[run], o.Days, met)
+				results[run] = runResult{rep: rep, base: base, met: met, err: err}
+				return nil
+			})
+			if err != nil {
+				return FailoverResult{}, err
+			}
+			var cost, base, compl float64
+			for _, r := range results {
+				if r.err != nil {
+					row.Errored++
+					continue
+				}
+				row.Trips += int(r.met.CounterValue("fleet.trips"))
+				row.Migrations += int(r.met.CounterValue("fleet.migrations"))
+				row.Escalations += int(r.met.CounterValue("fleet.escalations"))
+				if o.Metrics != nil {
+					if err := o.Metrics.Merge(r.met.Snapshot()); err != nil {
+						return FailoverResult{}, fmt.Errorf("experiments: merging failover run metrics: %w", err)
+					}
+				}
+				if !r.rep.Outcome.Completed {
+					row.Lost++
+					continue
+				}
+				row.Completed++
+				cost += r.rep.FleetCost
+				base += r.base
+				compl += float64(r.rep.Outcome.Completion)
+			}
+			if row.Completed > 0 {
+				row.MeanFleetCost = cost / float64(row.Completed)
+				row.MeanOnDemand = base / float64(row.Completed)
+				row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
+				if row.MeanOnDemand > 0 {
+					row.Savings = 1 - row.MeanFleetCost/row.MeanOnDemand
+				}
+			}
+			o.Metrics.Counter("experiments.failover.runs").Add(int64(row.Runs))
+			o.Metrics.Counter("experiments.failover.completed").Add(int64(row.Completed))
+			o.Metrics.Counter("experiments.failover.lost").Add(int64(row.Lost))
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Row returns the (regions, rate) row, or false.
+func (r FailoverResult) Row(regions int, rate float64) (FailoverRow, bool) {
+	for _, row := range r.Rows {
+		if row.Regions == regions && row.Rate == rate {
+			return row, true
+		}
+	}
+	return FailoverRow{}, false
+}
+
+// Render returns the graceful-degradation table as aligned text.
+func (r FailoverResult) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.Regions), fmt.Sprintf("%.2f", row.Rate),
+			fmt.Sprintf("%d/%d", row.Completed, row.Runs),
+			fmt.Sprintf("%d", row.Lost),
+			f4(row.MeanFleetCost), f4(row.MeanOnDemand), pct(row.Savings),
+			f2(float64(row.MeanCompletion)),
+			fmt.Sprintf("%d", row.Trips), fmt.Sprintf("%d", row.Migrations),
+			fmt.Sprintf("%d", row.Escalations),
+		}
+	}
+	return Table([]string{"regions", "rate", "completed", "lost", "fleet-cost", "od-cost", "savings", "compl(h)", "trips", "migrations", "escalations"}, rows)
+}

@@ -1,0 +1,481 @@
+// Package fleet is the multi-region controller: it runs a persistent
+// job across several simulated regions (each with its own price trace
+// and chaos profile) on a shared slot clock, scores each region's
+// health from its observability counters, and trips a per-region
+// circuit breaker when a region degrades. A tripped job is drained
+// (request cancelled, checkpoint exported), migrated to the healthiest
+// sibling region — paying the recovery time t_r plus a configurable
+// migration penalty — and re-priced there with the paper's persistent
+// optimum. Only when every breaker is open, or Eq. 14 declares the job
+// infeasible in every region, does the controller escalate to
+// on-demand (§3.2's completion-control playbook, applied fleet-wide).
+//
+// Determinism contract: members are scored, selected, and ticked in
+// their construction order; health scores are plain float arithmetic
+// over counter deltas; nothing reads the wall clock or an unseeded
+// RNG. Two runs over the same traces, seeds, and config produce
+// byte-identical failover schedules (Report.Schedule) and metric
+// snapshots. With a single member and a fault-free substrate the
+// controller is bit-identical to driving the member's client directly
+// (see DESIGN.md §8).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/retry"
+	"repro/internal/timeslot"
+)
+
+// BreakerState is a member's circuit-breaker state.
+type BreakerState int
+
+const (
+	// Closed: the region takes traffic.
+	Closed BreakerState = iota
+	// Open: the region is quarantined; no legs run there.
+	Open
+	// HalfOpen: the quarantine elapsed; the region may host one
+	// probationary leg, closing on success and re-opening on a trip.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// ErrBreakerOpen aborts the active run when the hosting region's
+// breaker trips; the controller catches it and migrates the job.
+var ErrBreakerOpen = errors.New("fleet: active region's circuit breaker opened")
+
+// Config tunes the controller. The zero value gets the defaults below.
+type Config struct {
+	// HealthWindow is the leaky-integrator horizon, in slots, of the
+	// health score's rate terms (default 36 slots = 3 hours).
+	HealthWindow int
+	// TripScore is the health score at which the active member's
+	// breaker trips (default 0.5; scores live in [0,1]).
+	TripScore float64
+	// OpenSlots is how long a tripped breaker stays open before the
+	// region may host a probationary leg (default 72 slots = 6 hours).
+	OpenSlots int
+	// ProbeSlots is how long a half-open region must host the job
+	// without tripping before its breaker closes (default 36 slots).
+	ProbeSlots int
+	// OutageTrip is the capacity-outage hard trip: this many
+	// consecutive slots with blocked launches open the breaker
+	// regardless of the score (default 3).
+	OutageTrip int
+	// MigrationPenalty is extra work, in hours, charged on top of the
+	// recovery time t_r each time a checkpointed job moves regions —
+	// the cost of copying state across the WAN (default 0).
+	MigrationPenalty timeslot.Hours
+	// MaxMigrations caps cross-region moves per job before the
+	// controller escalates to on-demand (default 8).
+	MaxMigrations int
+	// Metrics, when non-nil, receives the controller's own telemetry
+	// (fleet.* metrics). It is deliberately separate from the members'
+	// registries so an attached fleet never perturbs their snapshots.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthWindow <= 0 {
+		c.HealthWindow = 36
+	}
+	if c.TripScore <= 0 {
+		c.TripScore = 0.5
+	}
+	if c.OpenSlots <= 0 {
+		c.OpenSlots = 72
+	}
+	if c.ProbeSlots <= 0 {
+		c.ProbeSlots = 36
+	}
+	if c.OutageTrip <= 0 {
+		c.OutageTrip = 3
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 8
+	}
+	return c
+}
+
+// Member is one region under the controller: the region, a client
+// bound to it, and an ID used in events, metric names, and schedules.
+type Member struct {
+	// ID names the region (e.g. "us-east-1"). Keep it metric-name safe;
+	// empty IDs default to "region-<index>".
+	ID string
+	// Region is the member's simulated cloud.
+	Region *cloud.Region
+	// Client runs legs against the region. The controller installs its
+	// own Ticker and Delegate on it; drive jobs through the controller,
+	// not the client, while a fleet is attached.
+	Client *client.Client
+}
+
+// counterSample is one reading of the member counters the health score
+// is built from. All reads go through the non-creating accessors so
+// scoring never materializes metrics in a registry it does not own.
+type counterSample struct {
+	apiFaults, blocked, outbid, accepted, rejected, stale int64
+}
+
+func sampleCounters(reg *obs.Registry) counterSample {
+	return counterSample{
+		apiFaults: reg.CounterValue("cloud.api_faults"),
+		blocked:   reg.CounterValue("cloud.bids.blocked"),
+		outbid:    reg.CounterValue("cloud.bids.outbid"),
+		accepted:  reg.CounterValue("cloud.bids.accepted"),
+		rejected:  reg.CounterValue("client.quotes.rejected"),
+		stale:     reg.CounterValue("client.ecdf.stale_serves"),
+	}
+}
+
+// member is a Member plus the controller's bookkeeping for it.
+type member struct {
+	Member
+
+	state     BreakerState
+	openedAt  int // fleet slot the breaker last opened
+	probeLeft int // probationary slots left while half-open and active
+
+	// leaky integrators over per-slot counter deltas (rate terms)
+	accAPI, accStale, accRejected float64
+	// streaks (consecutive-slot terms)
+	blockedStreak, outbidStreak int
+
+	score      float64
+	last       counterSample
+	infeasible bool // Eq. 14 failed here during the current run
+	tripped    bool // set when the breaker opened in the current tick
+	orphans    []string
+}
+
+// Controller supervises a fleet of members and runs jobs across them.
+type Controller struct {
+	cfg     Config
+	members []*member
+	met     *obs.Registry
+
+	active        int // index hosting the current leg; -1 between legs
+	escalated     bool
+	migrations    int
+	events        []Event
+	pendingImport *checkpoint.Record
+}
+
+// NewController builds a controller over the members, in order. Member
+// order is part of the determinism contract: scoring ties and
+// selection ties break toward the earlier member. Each member's client
+// gets the controller installed as its Ticker and fallback Delegate,
+// and members without a metrics registry get a fresh one (health
+// scoring reads the member's counters, so a blind member would never
+// trip on soft signals).
+func NewController(cfg Config, members ...Member) (*Controller, error) {
+	if len(members) == 0 {
+		return nil, errors.New("fleet: no members")
+	}
+	f := &Controller{cfg: cfg.withDefaults(), met: cfg.Metrics, active: -1}
+	seen := make(map[string]bool, len(members))
+	for i, m := range members {
+		if m.Region == nil || m.Client == nil {
+			return nil, fmt.Errorf("fleet: member %d has a nil region or client", i)
+		}
+		if m.Client.Region != m.Region {
+			return nil, fmt.Errorf("fleet: member %d's client is bound to a different region", i)
+		}
+		if m.ID == "" {
+			m.ID = fmt.Sprintf("region-%d", i)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("fleet: duplicate member ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		m.Region.SetID(m.ID)
+		if m.Client.Metrics == nil {
+			m.Client.SetMetrics(obs.New())
+		}
+		mm := &member{Member: m, last: sampleCounters(m.Client.Metrics)}
+		f.members = append(f.members, mm)
+	}
+	for _, m := range f.members {
+		m.Client.Ticker = f.Tick
+		m.Client.Delegate = delegate{f}
+	}
+	return f, nil
+}
+
+// now returns the fleet slot. All members tick in lockstep, so any
+// member's clock is the fleet clock.
+func (f *Controller) now() int { return f.members[0].Region.Now() }
+
+// Breaker reports the named member's breaker state (Closed for an
+// unknown ID — the zero value).
+func (f *Controller) Breaker(id string) BreakerState {
+	for _, m := range f.members {
+		if m.ID == id {
+			return m.state
+		}
+	}
+	return Closed
+}
+
+// Health reports the named member's current health score (0 for an
+// unknown ID). Higher is worse; TripScore is the quarantine line.
+func (f *Controller) Health(id string) float64 {
+	for _, m := range f.members {
+		if m.ID == id {
+			return m.score
+		}
+	}
+	return 0
+}
+
+// Tick advances every member region one slot in lockstep and runs the
+// breaker bookkeeping. It is installed as each member client's Ticker,
+// so any leg the controller runs drives the whole fleet. The trace is
+// treated as exhausted as soon as ANY member's trace is — ending all
+// clocks on the same slot keeps the lockstep invariant.
+func (f *Controller) Tick() error {
+	for _, m := range f.members {
+		if m.Region.Now()+1 >= m.Region.Horizon() {
+			return cloud.ErrEndOfTrace
+		}
+	}
+	for _, m := range f.members {
+		if err := m.Region.Tick(); err != nil {
+			return err
+		}
+	}
+	f.retryOrphans()
+	f.observe()
+	if f.active >= 0 && !f.escalated && f.members[f.active].tripped {
+		return ErrBreakerOpen
+	}
+	return nil
+}
+
+// Skip advances the fleet n slots with no job in flight.
+func (f *Controller) Skip(n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe updates every member's health score and breaker timers for
+// the slot the fleet just ticked into.
+func (f *Controller) observe() {
+	slot := f.now()
+	decay := 1 - 1/float64(f.cfg.HealthWindow)
+	for i, m := range f.members {
+		cur := sampleCounters(m.Client.Metrics)
+		d := counterSample{
+			apiFaults: cur.apiFaults - m.last.apiFaults,
+			blocked:   cur.blocked - m.last.blocked,
+			outbid:    cur.outbid - m.last.outbid,
+			accepted:  cur.accepted - m.last.accepted,
+			rejected:  cur.rejected - m.last.rejected,
+			stale:     cur.stale - m.last.stale,
+		}
+		m.last = cur
+		m.accAPI = m.accAPI*decay + float64(d.apiFaults)
+		m.accStale = m.accStale*decay + float64(d.stale)
+		m.accRejected = m.accRejected*decay + float64(d.rejected)
+		if d.blocked > 0 {
+			m.blockedStreak++
+		} else {
+			m.blockedStreak = 0
+		}
+		// The out-bid streak counts provider terminations without an
+		// intervening successful launch; it holds through quiet slots.
+		if d.accepted > 0 {
+			m.outbidStreak = 0
+		}
+		if d.outbid > 0 {
+			m.outbidStreak++
+		}
+		m.score = healthScore(f.cfg, m)
+
+		m.tripped = false
+		switch m.state {
+		case Open:
+			if slot-m.openedAt >= f.cfg.OpenSlots {
+				m.state = HalfOpen
+				m.probeLeft = f.cfg.ProbeSlots
+				f.event(slot, "probe", m.ID, fmt.Sprintf("quarantine elapsed after %d slots", f.cfg.OpenSlots))
+			}
+		case HalfOpen:
+			if i == f.active {
+				if m.probeLeft > 0 {
+					m.probeLeft--
+				}
+				if m.probeLeft == 0 {
+					m.state = Closed
+					m.accAPI, m.accStale, m.accRejected = 0, 0, 0
+					f.event(slot, "close", m.ID, fmt.Sprintf("probe survived %d slots", f.cfg.ProbeSlots))
+				}
+			}
+		}
+		if i == f.active && !f.escalated && m.state != Open {
+			if m.blockedStreak >= f.cfg.OutageTrip {
+				f.trip(i, fmt.Sprintf("capacity outage: %d consecutive blocked slots", m.blockedStreak))
+			} else if m.score >= f.cfg.TripScore {
+				f.trip(i, fmt.Sprintf("health score %.4f >= %.4f", m.score, f.cfg.TripScore))
+			}
+		}
+		f.met.Gauge("fleet.health." + m.ID).Set(m.score)
+		f.met.Gauge("fleet.breaker." + m.ID).Set(float64(m.state))
+	}
+}
+
+// healthScore folds a member's fault signals into [0,1]: weighted
+// saturating terms for API-fault, stale-estimate, and corrupt-quote
+// rates plus the blocked-launch and out-bid streaks (DESIGN.md §8).
+func healthScore(cfg Config, m *member) float64 {
+	sat := func(x, n float64) float64 {
+		if x >= n {
+			return 1
+		}
+		return x / n
+	}
+	ot := float64(cfg.OutageTrip)
+	return 0.35*sat(m.accAPI, ot) +
+		0.15*sat(m.accStale, 2) +
+		0.10*sat(m.accRejected, float64(cfg.HealthWindow)) +
+		0.30*sat(float64(m.blockedStreak), ot) +
+		0.10*sat(float64(m.outbidStreak), 2*ot)
+}
+
+// trip opens member i's breaker.
+func (f *Controller) trip(i int, why string) {
+	m := f.members[i]
+	m.state = Open
+	m.openedAt = f.now()
+	m.tripped = true
+	f.met.Counter("fleet.trips").Inc()
+	f.met.Gauge("fleet.breaker." + m.ID).Set(float64(Open))
+	f.event(f.now(), "trip", m.ID, why)
+}
+
+// retryOrphans retries, once per slot, the cancellations that
+// exhausted their immediate budget when a leg was drained.
+func (f *Controller) retryOrphans() {
+	for _, m := range f.members {
+		if len(m.orphans) == 0 {
+			continue
+		}
+		keep := m.orphans[:0]
+		for _, id := range m.orphans {
+			err := m.Region.CancelSpotRequest(id)
+			if err != nil && retry.IsTransient(err) {
+				keep = append(keep, id)
+				continue
+			}
+			if err == nil {
+				f.met.Counter("fleet.orphans.reclaimed").Inc()
+				f.event(f.now(), "reclaim", m.ID, "orphaned request "+id+" cancelled")
+			}
+		}
+		m.orphans = keep
+	}
+}
+
+// cancelRequest releases a request with a bounded immediate retry
+// budget (mirroring job's release). False means the cancel is still
+// pending — the caller records an orphan retried each subsequent slot.
+func (f *Controller) cancelRequest(m *member, id string) bool {
+	for i := 0; i < 8; i++ {
+		err := m.Region.CancelSpotRequest(id)
+		if err == nil || !retry.IsTransient(err) {
+			return true
+		}
+	}
+	return false
+}
+
+// delegate is the controller's client.FallbackDelegate: it vetoes a
+// member client's autonomous on-demand fallback whenever a healthy
+// sibling region could take the job instead. When no sibling is
+// available the fallback is allowed and counts as the fleet's
+// escalation — the controller stops tripping that member so the
+// on-demand instance can never be stranded mid-run.
+type delegate struct{ f *Controller }
+
+func (d delegate) AllowOnDemand(spec job.Spec, reason client.FallbackReason) bool {
+	f := d.f
+	if f.active < 0 || f.escalated {
+		return true
+	}
+	if f.pick(f.active) < 0 {
+		f.escalated = true
+		f.met.Counter("fleet.escalations").Inc()
+		f.event(f.now(), "escalate", f.members[f.active].ID,
+			fmt.Sprintf("no healthy sibling; client falls back on-demand (%s)", reason))
+		return true
+	}
+	f.met.Counter("fleet.vetoes").Inc()
+	f.event(f.now(), "veto", f.members[f.active].ID, string(reason))
+	return false
+}
+
+// pick selects the healthiest available member, excluding index skip:
+// closed breakers beat half-open ones, lower scores beat higher, and
+// ties break toward the earlier member. Open or Eq.14-infeasible
+// members never qualify. Returns -1 when no member qualifies.
+func (f *Controller) pick(skip int) int {
+	best := -1
+	for i, m := range f.members {
+		if i == skip || m.infeasible || m.state == Open {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := f.members[best]
+		if m.state != b.state {
+			if m.state == Closed {
+				best = i
+			}
+			continue
+		}
+		if m.score < b.score {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickAny returns the member with the lowest score regardless of
+// breaker state — the escalation host, where only the on-demand pool
+// (never gated by spot outages) is used.
+func (f *Controller) pickAny() int {
+	best := 0
+	for i, m := range f.members {
+		if m.score < f.members[best].score {
+			best = i
+		}
+	}
+	return best
+}

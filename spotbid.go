@@ -41,6 +41,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fleet"
 	"repro/internal/forecast"
 	"repro/internal/instances"
 	"repro/internal/job"
@@ -333,3 +334,32 @@ type (
 
 // NewClient builds a client for a region.
 var NewClient = client.New
+
+// The multi-region fleet controller (see internal/fleet): supervised
+// clients across regions with circuit breakers, checkpoint migration,
+// and cross-market failover.
+type (
+	// FleetController supervises one job across member regions.
+	FleetController = fleet.Controller
+	// FleetMember binds a region and its client under one ID.
+	FleetMember = fleet.Member
+	// FleetConfig tunes breaker thresholds and migration accounting.
+	FleetConfig = fleet.Config
+	// FleetReport is a fleet run: legs, failover schedule, merged outcome.
+	FleetReport = fleet.Report
+	// BreakerState is a member's circuit-breaker state.
+	BreakerState = fleet.BreakerState
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = fleet.Closed
+	BreakerOpen     = fleet.Open
+	BreakerHalfOpen = fleet.HalfOpen
+)
+
+// NewFleet builds a fleet controller over member regions.
+var NewFleet = fleet.NewController
+
+// ErrBreakerOpen aborts a member client's run when its breaker trips.
+var ErrBreakerOpen = fleet.ErrBreakerOpen
