@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle check fuzz bench bench-json
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json trace-demo
 
 all: check
 
@@ -25,16 +25,22 @@ race:
 # instruments — fast feedback on the shared-registry paths before the
 # full suite runs.
 race-obs:
-	$(GO) test -race ./internal/obs/ ./internal/retry/ ./internal/checkpoint/ \
-		./internal/cloud/ ./internal/client/ ./internal/market/ \
-		./internal/trace/ ./internal/experiments/
+	$(GO) test -race ./internal/obs/ ./internal/obs/event/ ./internal/retry/ \
+		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
+		./internal/market/ ./internal/fleet/ ./internal/trace/ \
+		./internal/experiments/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
 shuffle:
 	$(GO) test -shuffle=on ./...
 
-check: vet race-obs race shuffle
+# Trace determinism depends on the slot-indexed core never reading the
+# wall clock; see DESIGN.md §9.
+no-wallclock:
+	sh scripts/no_wallclock.sh
+
+check: vet no-wallclock race-obs race shuffle
 
 # Short fuzz pass over both history-parser targets.
 fuzz:
@@ -45,6 +51,12 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Instrumented-vs-Noop overhead record (JSON): micro hot paths plus
-# the end-to-end Table 3 pair, whose overhead budget is < 5%.
+# the end-to-end Table 3 pairs (metrics and tracing), whose overhead
+# budget is < 5%.
 bench-json:
 	$(GO) run ./cmd/obsbench -out BENCH_obs.json
+
+# Chaos-failover flight-recorder walkthrough: per-slot timeline on
+# stdout; see examples/flightrecorder for the Perfetto export flags.
+trace-demo:
+	$(GO) run ./examples/flightrecorder

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 )
 
 func main() {
@@ -26,11 +27,19 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,failover,ablations")
 		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the experiments")
 		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON instead of a table (implies -metrics)")
+		traceOn     = flag.Bool("trace", false, "record a flight-recorder event trace of run 0 of each sweep cell")
+		traceOut    = flag.String("trace-out", "", "write the trace to this file (default stdout; implies -trace)")
+		traceFormat = flag.String("trace-format", "jsonl", "trace export format: jsonl, chrome, or timeline (implies -trace)")
 	)
 	flag.Parse()
 	opts := experiments.Opts{Seed: *seed, Runs: *runs}
 	if *metrics || *metricsJSON {
 		opts.Metrics = obs.New()
+	}
+	if *traceOn || *traceOut != "" || isFlagSet("trace-format") {
+		// Unbounded: an experiment export wants the whole stream, not
+		// the flight recorder's overwrite-oldest window.
+		opts.Trace = event.NewRecorder(event.Config{Unbounded: true})
 	}
 
 	want := map[string]bool{}
@@ -127,6 +136,48 @@ func main() {
 			fmt.Printf("== Metrics\n\n%s\n", snap.Render())
 		}
 	}
+	if opts.Trace != nil {
+		if err := exportTrace(opts.Trace, *traceOut, *traceFormat); err != nil {
+			fatalf("exporting trace: %v", err)
+		}
+	}
+}
+
+// exportTrace writes the recorded trace in the chosen format, to the
+// named file or stdout.
+func exportTrace(rec *event.Recorder, out, format string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	} else {
+		fmt.Printf("== Trace (%s, %d events)\n\n", format, rec.Len())
+	}
+	switch format {
+	case "jsonl":
+		return rec.WriteJSONL(w)
+	case "chrome":
+		return rec.WriteChromeTrace(w)
+	case "timeline":
+		return rec.WriteTimeline(w)
+	default:
+		return fmt.Errorf("unknown trace format %q (want jsonl, chrome, or timeline)", format)
+	}
+}
+
+// isFlagSet reports whether the named flag was given explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func section(title string, run func() (interface{ Render() string }, error)) {

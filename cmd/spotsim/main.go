@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/instances"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,10 @@ func main() {
 		summary  = flag.Bool("summary", false, "print a statistical summary instead of CSV")
 		metrics  = flag.Bool("metrics", false, "print a generation metrics snapshot to stderr (keeps stdout CSV-clean)")
 		list     = flag.Bool("list", false, "list calibrated instance types and exit")
+
+		traceOn     = flag.Bool("trace", false, "record a PriceSet event trace of the generation (stderr unless -trace-out)")
+		traceOut    = flag.String("trace-out", "", "write the event trace to this file (implies -trace)")
+		traceFormat = flag.String("trace-format", "jsonl", "event-trace format: jsonl, chrome, or timeline")
 	)
 	flag.Parse()
 
@@ -52,6 +57,9 @@ func main() {
 	if *metrics {
 		opts.Metrics = obs.New()
 	}
+	if *traceOn || *traceOut != "" {
+		opts.Trace = event.NewRecorder(event.Config{Unbounded: true})
+	}
 	if *dynamics != "full" && *dynamics != "equilibrium" {
 		fatalf("unknown -dynamics %q (want equilibrium or full)", *dynamics)
 	}
@@ -67,6 +75,32 @@ func main() {
 	}
 	if opts.Metrics != nil {
 		fmt.Fprintf(os.Stderr, "== Metrics\n\n%s", opts.Metrics.Snapshot().Render())
+	}
+	if opts.Trace != nil {
+		// Stderr by default, like -metrics: stdout stays CSV-clean.
+		w := os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("creating trace file: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		var err error
+		switch *traceFormat {
+		case "jsonl":
+			err = opts.Trace.WriteJSONL(w)
+		case "chrome":
+			err = opts.Trace.WriteChromeTrace(w)
+		case "timeline":
+			err = opts.Trace.WriteTimeline(w)
+		default:
+			fatalf("unknown -trace-format %q (want jsonl, chrome, or timeline)", *traceFormat)
+		}
+		if err != nil {
+			fatalf("writing trace: %v", err)
+		}
 	}
 }
 

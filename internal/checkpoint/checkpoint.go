@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 )
 
@@ -51,6 +52,8 @@ type Volume struct {
 	history []Record // append-only audit log
 	fault   func(jobID string, slot int) error
 	met     *obs.Registry
+	rec     *event.Recorder
+	now     func() int
 }
 
 // SetMetrics installs a metrics registry recording checkpoint.saves,
@@ -60,6 +63,27 @@ func (v *Volume) SetMetrics(m *obs.Registry) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.met = m
+}
+
+// SetTrace installs a flight recorder emitting CheckpointExport and
+// CheckpointImport events for successful migrations. The volume has no
+// clock of its own, so now supplies the simulated slot to stamp (the
+// owning region's Now, normally); a nil now stamps the record's own
+// save slot. Nil rec — the default — records nothing.
+func (v *Volume) SetTrace(rec *event.Recorder, now func() int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.rec = rec
+	v.now = now
+}
+
+// traceSlot resolves the slot to stamp on a migration event. Caller
+// holds mu.
+func (v *Volume) traceSlot(rec Record) int {
+	if v.now != nil {
+		return v.now()
+	}
+	return rec.Slot
 }
 
 // SetWriteFault installs a hook consulted before every Save; a non-nil
@@ -139,6 +163,10 @@ func (v *Volume) Export(jobID string) (Record, error) {
 		return Record{}, fmt.Errorf("%w for job %q", ErrNotFound, jobID)
 	}
 	v.met.Counter("checkpoint.exports").Inc()
+	if v.rec != nil {
+		v.rec.Emit(&event.Event{Kind: event.CheckpointExport, Slot: v.traceSlot(rec),
+			Job: jobID, Subject: jobID, Value: float64(rec.Remaining)})
+	}
 	return rec, nil
 }
 
@@ -163,6 +191,10 @@ func (v *Volume) Import(rec Record) error {
 		}
 	}
 	v.met.Counter("checkpoint.imports").Inc()
+	if v.rec != nil {
+		v.rec.Emit(&event.Event{Kind: event.CheckpointImport, Slot: v.traceSlot(rec),
+			Job: rec.JobID, Subject: rec.JobID, Value: float64(rec.Remaining)})
+	}
 	v.records[rec.JobID] = rec
 	v.history = append(v.history, rec)
 	return nil

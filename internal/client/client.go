@@ -20,6 +20,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
@@ -78,6 +79,11 @@ type Client struct {
 	// runs and for on-demand runs). A controller that aborted a run
 	// via its Ticker reads the job's progress from here.
 	active *job.Tracker
+
+	// trace is the flight recorder threaded through the client's whole
+	// run surface (SetTrace). Nil — the default — records nothing and
+	// keeps seeded runs bit-identical to an uninstrumented client.
+	trace *event.Recorder
 }
 
 // FallbackReason tells a FallbackDelegate why the client wants to
@@ -145,12 +151,40 @@ func (c *Client) SetMetrics(m *obs.Registry) {
 	}
 }
 
+// SetTrace installs one flight recorder across the client's whole run
+// surface: the client runtime itself (leg spans, fallback events), the
+// region's market hooks, the checkpoint volume (migration events,
+// slot-stamped from the region's clock), and the retry policy. The
+// trace counterpart of SetMetrics; nil removes the hooks.
+func (c *Client) SetTrace(rec *event.Recorder) {
+	c.trace = rec
+	if c.Region != nil {
+		c.Region.SetTrace(rec)
+	}
+	if c.Volume != nil {
+		if rec == nil {
+			c.Volume.SetTrace(nil, nil)
+		} else {
+			c.Volume.SetTrace(rec, c.Region.Now)
+		}
+	}
+}
+
+// Trace reports the installed flight recorder (nil when
+// uninstrumented).
+func (c *Client) Trace() *event.Recorder { return c.trace }
+
 // policy returns the client's retry policy with the metrics registry
-// threaded through (unless the caller already installed one).
+// and flight recorder threaded through (unless the caller already
+// installed its own).
 func (c *Client) policy() retry.Policy {
 	p := c.Retry
 	if p.Metrics == nil {
 		p.Metrics = c.Metrics
+	}
+	if p.Trace == nil && c.trace != nil {
+		p.Trace = c.trace
+		p.TraceSlot = c.Region.Now
 	}
 	return p
 }
@@ -462,6 +496,10 @@ func (c *Client) eval(m core.Market, spec job.Spec, price float64, kind cloud.Re
 // baseline of every figure.
 func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
 	c.setActive(nil)
+	if c.trace != nil {
+		leg := c.trace.BeginSpan("leg:on-demand", spec.ID, c.Region.ID(), c.Region.Now())
+		defer func() { c.trace.EndSpan(leg, c.Region.Now()) }()
+	}
 	tracker, err := job.NewOnDemandJob(c.Region, spec)
 	if err != nil {
 		return Report{}, err
@@ -470,6 +508,10 @@ func (c *Client) RunOnDemand(spec job.Spec) (Report, error) {
 	out, err := c.run(tracker)
 	if err != nil {
 		return Report{}, err
+	}
+	if c.trace != nil {
+		c.trace.Emit(&event.Event{Kind: event.LegComplete, Slot: c.Region.Now(),
+			Region: c.Region.ID(), Job: spec.ID, Subject: "on-demand", Value: out.Cost})
 	}
 	rep := Report{Strategy: "on-demand", Outcome: out}
 	c.attachMetrics(&rep)
@@ -489,6 +531,13 @@ func (c *Client) attachMetrics(rep *Report) {
 func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind cloud.RequestKind, tel Telemetry) (Report, error) {
 	c.setActive(nil)
 	span := c.Metrics.StartSpan("client.job_slots", c.Region.Now())
+	if c.trace != nil {
+		// The deferred end covers error exits too: an aborted leg's span
+		// closes at the abort slot instead of dangling open under the
+		// job's root span.
+		leg := c.trace.BeginSpan("leg:"+strategy, spec.ID, c.Region.ID(), c.Region.Now())
+		defer func() { c.trace.EndSpan(leg, c.Region.Now()) }()
+	}
 	// Degrade gracefully via the existing on-demand path (§3.2's
 	// playbook). The strategy keeps its name; Telemetry records the
 	// substitution, and BidPrice stays 0 — no bid was ever placed.
@@ -498,6 +547,8 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 			return Report{}, fmt.Errorf("%s: %w", reason, ErrFallbackVetoed)
 		}
 		c.Metrics.Counter("client.fallback.on_demand").Inc()
+		c.trace.Emit(&event.Event{Kind: event.FallbackOnDemand, Slot: c.Region.Now(),
+			Region: c.Region.ID(), Job: spec.ID, Cause: string(reason)})
 		rep, err := c.RunOnDemand(spec)
 		if err != nil {
 			return Report{}, err
@@ -535,6 +586,12 @@ func (c *Client) runSpot(strategy string, spec job.Spec, analytic core.Bid, kind
 		return Report{}, err
 	}
 	span.End(c.Region.Now())
+	if c.trace != nil {
+		// The fallback path's LegComplete came from the nested
+		// RunOnDemand — exactly one per run either way.
+		c.trace.Emit(&event.Event{Kind: event.LegComplete, Slot: c.Region.Now(),
+			Region: c.Region.ID(), Job: spec.ID, Subject: strategy, Value: out.Cost})
+	}
 	rep := Report{Strategy: strategy, BidPrice: analytic.Price, Analytic: analytic, Outcome: out, Telemetry: tel}
 	c.attachMetrics(&rep)
 	return rep, nil
@@ -605,6 +662,8 @@ func (c *Client) superviseSpot(tracker *job.Tracker, spec job.Spec, tel *Telemet
 		tel.FellBackOnDemand = true
 		c.Metrics.Counter("client.stall_fires").Inc()
 		c.Metrics.Counter("client.fallback.on_demand").Inc()
+		c.trace.Emit(&event.Event{Kind: event.FallbackOnDemand, Slot: c.Region.Now(),
+			Region: c.Region.ID(), Job: spec.ID, Cause: string(ReasonStall)})
 		spot := tracker.Outcome()
 		remaining := tracker.Remaining()
 		if spot.RunTime > 0 {

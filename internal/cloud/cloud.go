@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/instances"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 )
@@ -213,6 +214,7 @@ type Region struct {
 	pendingTerm map[string]int
 
 	met *regionMetrics // nil: uninstrumented (see metrics.go)
+	evt *regionTrace   // nil: no flight recorder (see trace.go)
 }
 
 // NewRegion builds a region serving the given price traces (one per
@@ -363,6 +365,12 @@ func (r *Region) RequestSpotInstances(t instances.Type, bid float64, kind Reques
 	if r.met != nil {
 		r.met.submitted.Add(int64(count))
 	}
+	if r.evt != nil {
+		for _, req := range out {
+			r.evt.rec.Emit(&event.Event{Kind: event.BidSubmitted, Slot: r.clock.Now(),
+				Region: r.id, Subject: req.ID, Value: bid})
+		}
+	}
 	return out, nil
 }
 
@@ -466,6 +474,9 @@ func (r *Region) Tick() error {
 		return ErrEndOfTrace
 	}
 	slot := r.clock.Tick()
+	if r.evt != nil {
+		r.tracePrices(slot)
+	}
 
 	// 1. Out-bid terminations at the new prices.
 	for _, id := range r.order {
@@ -494,6 +505,10 @@ func (r *Region) Tick() error {
 				if r.met != nil {
 					r.met.outbidDelayed.Inc()
 				}
+				if r.evt != nil {
+					r.evt.rec.Emit(&event.Event{Kind: event.OutBidDelayed, Slot: slot,
+						Region: r.id, Subject: id, Cause: "delayed-notice", Value: float64(d)})
+				}
 				continue
 			}
 		}
@@ -514,6 +529,10 @@ func (r *Region) Tick() error {
 			if r.met != nil {
 				r.met.blocked.Inc()
 			}
+			if r.evt != nil {
+				r.evt.rec.Emit(&event.Event{Kind: event.LaunchBlocked, Slot: slot,
+					Region: r.id, Subject: id, Cause: "capacity-outage"})
+			}
 			continue // capacity outage: stays pending above the price
 		}
 		r.nextInst++
@@ -531,6 +550,10 @@ func (r *Region) Tick() error {
 		req.InstanceID = inst.ID
 		if r.met != nil {
 			r.met.accepted.Inc()
+		}
+		if r.evt != nil {
+			r.evt.rec.Emit(&event.Event{Kind: event.BidAccepted, Slot: slot,
+				Region: r.id, Subject: inst.ID, Cause: id, Value: price})
 		}
 		r.events = append(r.events, Event{Slot: slot, Kind: EvLaunch, RequestID: id, InstanceID: inst.ID, Price: price})
 	}
@@ -569,6 +592,10 @@ func (r *Region) outbid(req *SpotRequest, slot int, price float64) {
 	if r.met != nil {
 		r.met.outbid.Inc()
 		r.observeTermination(inst, slot)
+	}
+	if r.evt != nil {
+		r.evt.rec.Emit(&event.Event{Kind: event.OutBid, Slot: slot,
+			Region: r.id, Subject: inst.ID, Cause: req.ID, Value: price})
 	}
 	r.settlePartialHour(inst, true)
 	req.Interruptions++

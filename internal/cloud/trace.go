@@ -1,0 +1,72 @@
+package cloud
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/instances"
+	"repro/internal/obs/event"
+)
+
+// regionTrace caches what the per-slot hot path needs to emit flight-
+// recorder events without allocating: the recorder handle, the
+// region's instance types in sorted order (map iteration order would
+// leak nondeterminism into the event stream), and the last emitted
+// price per type so PriceSet fires only on change.
+type regionTrace struct {
+	rec   *event.Recorder
+	types []instances.Type // sorted; parallel to last
+	last  []float64        // last PriceSet value per type (NaN: never)
+}
+
+// SetTrace installs a flight recorder on the region. Install it
+// before the first Tick so the event stream covers every slot; nil —
+// the default — removes the hooks entirely, and a region without a
+// recorder behaves bit-identically to one that never had them.
+//
+// Events emitted (DESIGN.md §9 for the full contract): PriceSet on
+// every π(t) change per type, BidSubmitted per accepted request,
+// BidAccepted per launch, OutBid per provider termination,
+// OutBidDelayed when the injector defers the notice, LaunchBlocked
+// when a capacity outage refuses an above-price launch.
+func (r *Region) SetTrace(rec *event.Recorder) {
+	if rec == nil {
+		r.evt = nil
+		return
+	}
+	types := make([]instances.Type, 0, len(r.traces))
+	for t := range r.traces {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	last := make([]float64, len(types))
+	for i := range last {
+		last[i] = math.NaN()
+	}
+	r.evt = &regionTrace{rec: rec, types: types, last: last}
+}
+
+// Trace reports the region's installed recorder (nil when
+// uninstrumented) so callers wiring a client can share it.
+func (r *Region) Trace() *event.Recorder {
+	if r.evt == nil {
+		return nil
+	}
+	return r.evt.rec
+}
+
+// tracePrices emits PriceSet for every type whose spot price changed
+// at the newly revealed slot — the causal head of the slot: prices
+// move first, then out-bids and launches follow.
+func (r *Region) tracePrices(slot int) {
+	et := r.evt
+	for i, t := range et.types {
+		price := r.traces[t].At(slot)
+		if price == et.last[i] {
+			continue
+		}
+		et.last[i] = price
+		et.rec.Emit(&event.Event{Kind: event.PriceSet, Slot: slot,
+			Region: r.id, Subject: string(t), Value: price})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 )
 
@@ -49,7 +50,7 @@ type ChaosResult struct{ Rows []ChaosRow }
 // chaosRun executes one job under one strategy on a fresh chaos-armed
 // region. Runs are deterministic per seed: region trace, submission
 // offset, and the entire fault sequence all derive from it.
-func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, offset, days int, met *obs.Registry) (client.Report, chaos.Stats, error) {
+func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, offset, days int, met *obs.Registry, rec *event.Recorder) (client.Report, chaos.Stats, error) {
 	region, err := regionFor([]instances.Type{typ}, seed, days)
 	if err != nil {
 		return client.Report{}, chaos.Stats{}, err
@@ -60,6 +61,9 @@ func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, off
 	}
 	if met != nil {
 		cl.SetMetrics(met)
+	}
+	if rec != nil {
+		cl.SetTrace(rec)
 	}
 	inj := chaos.New(chaos.Uniform(rate, seed*31+1))
 	inj.Arm(region, cl.Volume)
@@ -118,7 +122,12 @@ func ChaosSweep(o Opts) (ChaosResult, error) {
 				if regs != nil {
 					met = regs[run]
 				}
-				rep, st, err := chaosRun(typ, strategy, rate, seed, offs[run], o.Days, met)
+				// Run 0 only — see Opts.Trace's determinism note.
+				var rec *event.Recorder
+				if run == 0 {
+					rec = o.Trace
+				}
+				rep, st, err := chaosRun(typ, strategy, rate, seed, offs[run], o.Days, met, rec)
 				// A client that cannot start its job at all is a data
 				// point, not an experiment failure.
 				results[run] = runResult{rep: rep, faults: st, err: err}

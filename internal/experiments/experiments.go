@@ -23,6 +23,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/instances"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,15 @@ type Opts struct {
 	// worker scheduling. Nil — the default — records nothing and
 	// changes no behavior.
 	Metrics *obs.Registry
+	// Trace, when non-nil, is the flight recorder threaded through the
+	// experiment. Sweeps that repeat a cell in parallel (ChaosSweep,
+	// FailoverSweep) instrument ONLY run index 0 of each cell: that
+	// run's emissions are sequential within its own goroutine and cells
+	// execute in order, so the recorded stream is deterministic — one
+	// seed, one byte sequence per export format — regardless of worker
+	// scheduling. Table3 records every trace generation. Nil — the
+	// default — records nothing and changes no behavior.
+	Trace *event.Recorder
 }
 
 func (o Opts) withDefaults() Opts {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 )
@@ -59,7 +60,7 @@ func failoverSpec(typ instances.Type) job.Spec {
 // a correlated region-outage chaos profile at the given rate, the
 // siblings fault-free. It returns the fleet report plus the
 // all-on-demand baseline cost measured on an identical home region.
-func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Registry) (fleet.Report, float64, error) {
+func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Registry, rec *event.Recorder) (fleet.Report, float64, error) {
 	typ := instances.R3XLarge
 	spec := failoverSpec(typ)
 	members := make([]fleet.Member, n)
@@ -86,6 +87,7 @@ func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Reg
 	ctl, err := fleet.NewController(fleet.Config{
 		MigrationPenalty: timeslot.Seconds(60),
 		Metrics:          met,
+		Trace:            rec,
 	}, members...)
 	if err != nil {
 		return fleet.Report{}, 0, err
@@ -146,7 +148,15 @@ func FailoverSweep(o Opts) (FailoverResult, error) {
 			err := forEachRun(o.Runs, func(run int) error {
 				seed := o.Seed + int64(ni)*2003 + int64(run)*7919
 				met := obs.New()
-				rep, base, err := failoverRun(n, rate, seed, offs[run], o.Days, met)
+				// Only run 0 feeds the shared flight recorder: its
+				// emissions are sequential in its own goroutine and cells
+				// execute in order, so the trace stays deterministic under
+				// parallel repetition (see Opts.Trace).
+				var rec *event.Recorder
+				if run == 0 {
+					rec = o.Trace
+				}
+				rep, base, err := failoverRun(n, rate, seed, offs[run], o.Days, met, rec)
 				results[run] = runResult{rep: rep, base: base, met: met, err: err}
 				return nil
 			})

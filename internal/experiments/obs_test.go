@@ -14,7 +14,7 @@ import (
 // with the given registry installed.
 func runInstrumented(t *testing.T, met *obs.Registry) client.Report {
 	t.Helper()
-	rep, faults, err := chaosRun(instances.R3XLarge, "persistent-30", 0, 42, 17, 63, met)
+	rep, faults, err := chaosRun(instances.R3XLarge, "persistent-30", 0, 42, 17, 63, met, nil)
 	if err != nil {
 		t.Fatalf("chaosRun: %v", err)
 	}

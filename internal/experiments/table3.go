@@ -43,7 +43,7 @@ func Table3(o Opts) (Table3Result, error) {
 		// DwellSlots 1: the table's bids depend only on the price
 		// marginal; independent draws give the cleanest two-month
 		// ECDF.
-		tr, err := trace.Generate(typ, trace.GenOptions{Days: 61, Seed: o.Seed + int64(i)*211, DwellSlots: 1, Metrics: o.Metrics})
+		tr, err := trace.Generate(typ, trace.GenOptions{Days: 61, Seed: o.Seed + int64(i)*211, DwellSlots: 1, Metrics: o.Metrics, Trace: o.Trace})
 		if err != nil {
 			return Table3Result{}, err
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
@@ -93,6 +94,15 @@ type Config struct {
 	// (fleet.* metrics). It is deliberately separate from the members'
 	// registries so an attached fleet never perturbs their snapshots.
 	Metrics *obs.Registry
+	// Trace, when non-nil, is the flight recorder shared across the
+	// fleet: the controller installs it on every member client (which
+	// wires the regions, volumes, and retry policies too), opens the
+	// job's root span, and emits BreakerTransition — carrying the
+	// member's health-score vector at transition time — plus
+	// Drain/Migrate events around every failover. Nil — the default —
+	// leaves all members untouched, keeping seeded fleet runs
+	// bit-identical to an uninstrumented controller.
+	Trace *event.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +184,7 @@ type Controller struct {
 	cfg     Config
 	members []*member
 	met     *obs.Registry
+	rec     *event.Recorder
 
 	active        int // index hosting the current leg; -1 between legs
 	escalated     bool
@@ -193,7 +204,7 @@ func NewController(cfg Config, members ...Member) (*Controller, error) {
 	if len(members) == 0 {
 		return nil, errors.New("fleet: no members")
 	}
-	f := &Controller{cfg: cfg.withDefaults(), met: cfg.Metrics, active: -1}
+	f := &Controller{cfg: cfg.withDefaults(), met: cfg.Metrics, rec: cfg.Trace, active: -1}
 	seen := make(map[string]bool, len(members))
 	for i, m := range members {
 		if m.Region == nil || m.Client == nil {
@@ -212,6 +223,9 @@ func NewController(cfg Config, members ...Member) (*Controller, error) {
 		m.Region.SetID(m.ID)
 		if m.Client.Metrics == nil {
 			m.Client.SetMetrics(obs.New())
+		}
+		if cfg.Trace != nil {
+			m.Client.SetTrace(cfg.Trace)
 		}
 		mm := &member{Member: m, last: sampleCounters(m.Client.Metrics)}
 		f.members = append(f.members, mm)
@@ -324,6 +338,7 @@ func (f *Controller) observe() {
 				m.state = HalfOpen
 				m.probeLeft = f.cfg.ProbeSlots
 				f.event(slot, "probe", m.ID, fmt.Sprintf("quarantine elapsed after %d slots", f.cfg.OpenSlots))
+				f.traceTransition(m, slot, "quarantine-elapsed")
 			}
 		case HalfOpen:
 			if i == f.active {
@@ -334,6 +349,7 @@ func (f *Controller) observe() {
 					m.state = Closed
 					m.accAPI, m.accStale, m.accRejected = 0, 0, 0
 					f.event(slot, "close", m.ID, fmt.Sprintf("probe survived %d slots", f.cfg.ProbeSlots))
+					f.traceTransition(m, slot, "probe-survived")
 				}
 			}
 		}
@@ -376,6 +392,21 @@ func (f *Controller) trip(i int, why string) {
 	f.met.Counter("fleet.trips").Inc()
 	f.met.Gauge("fleet.breaker." + m.ID).Set(float64(Open))
 	f.event(f.now(), "trip", m.ID, why)
+	f.traceTransition(m, f.now(), why)
+}
+
+// traceTransition emits a BreakerTransition flight-recorder event
+// carrying the member's full health vector at transition time — the
+// post-mortem record of why the breaker moved. Vec layout:
+// [accAPI, accStale, accRejected, blockedStreak, outbidStreak, score].
+func (f *Controller) traceTransition(m *member, slot int, why string) {
+	if f.rec == nil {
+		return
+	}
+	f.rec.Emit(&event.Event{Kind: event.BreakerTransition, Slot: slot,
+		Region: m.ID, Subject: m.state.String(), Cause: why, Value: float64(m.state),
+		Vec: []float64{m.accAPI, m.accStale, m.accRejected,
+			float64(m.blockedStreak), float64(m.outbidStreak), m.score}})
 }
 
 // retryOrphans retries, once per slot, the cancellations that

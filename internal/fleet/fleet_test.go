@@ -12,6 +12,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/job"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 )
@@ -137,13 +138,13 @@ func TestSingleRegionEquivalence(t *testing.T) {
 // that same slot a permanent region-wide outage (rate 1, pinned by
 // RegionOutageAfter) blocks every relaunch — while a clean sibling
 // stays up.
-func outageFleet(t *testing.T, fleetMet *obs.Registry) (*Controller, Member, Member) {
+func outageFleet(t *testing.T, fleetMet *obs.Registry, rec *event.Recorder) (*Controller, Member, Member) {
 	t.Helper()
 	home := newMember(t, "home", flatTrace(t, 400, 0.03, 60, 3, 0.50))
 	away := newMember(t, "away", flatTrace(t, 400, 0.03, 0, 0, 0))
 	inj := chaos.New(chaos.Config{Seed: 11, RegionOutageRate: 1, RegionOutageAfter: 60, RegionOutageSlots: 400})
 	inj.Arm(home.Region, nil)
-	ctl, err := NewController(Config{OutageTrip: 3, MigrationPenalty: timeslot.Seconds(60), Metrics: fleetMet}, home, away)
+	ctl, err := NewController(Config{OutageTrip: 3, MigrationPenalty: timeslot.Seconds(60), Metrics: fleetMet, Trace: rec}, home, away)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func outageFleet(t *testing.T, fleetMet *obs.Registry) (*Controller, Member, Mem
 // strictly cheaper than the all-on-demand escape hatch.
 func TestForcedOutageFailsOver(t *testing.T) {
 	met := obs.New()
-	ctl, home, away := outageFleet(t, met)
+	ctl, home, away := outageFleet(t, met, nil)
 	if err := ctl.Skip(50); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestForcedOutageFailsOver(t *testing.T) {
 func TestFailoverScheduleDeterministic(t *testing.T) {
 	run := func() (string, string) {
 		met := obs.New()
-		ctl, _, _ := outageFleet(t, met)
+		ctl, _, _ := outageFleet(t, met, nil)
 		if err := ctl.Skip(50); err != nil {
 			t.Fatal(err)
 		}
@@ -283,7 +284,7 @@ func TestEscalatesWhenEveryRegionIsDown(t *testing.T) {
 // TestBreakerReopensHalfOpen: the quarantine elapses and an open
 // breaker moves to half-open, making the region a probe candidate.
 func TestBreakerReopensHalfOpen(t *testing.T) {
-	ctl, _, _ := outageFleet(t, nil)
+	ctl, _, _ := outageFleet(t, nil, nil)
 	if err := ctl.Skip(50); err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/obs/event"
 	"repro/internal/retry"
 	"repro/internal/timeslot"
 )
@@ -117,6 +118,14 @@ func (f *Controller) RunPersistent(spec job.Spec) (Report, error) {
 	for i, m := range f.members {
 		startCost[i] = m.Region.TotalCost()
 	}
+	if f.rec != nil {
+		// The job's root span: every leg span (opened by the member
+		// clients) and every failover event nests under it, so the
+		// job's whole cross-region lifecycle is one reconstructable
+		// trace tree.
+		root := f.rec.BeginSpan("job:"+spec.ID, spec.ID, "", f.now())
+		defer func() { f.rec.EndSpan(root, f.now()) }()
+	}
 
 	rep := Report{Spec: spec}
 	legExec := spec.Exec
@@ -173,15 +182,33 @@ runLoop:
 						f.met.Counter("fleet.orphans").Inc()
 						f.event(f.now(), "orphan", m.ID, "release failed for "+req.ID)
 					}
+					if f.rec != nil {
+						// The client's error return skipped its own
+						// LegComplete; record the accepted leg here.
+						f.rec.Emit(&event.Event{Kind: event.LegComplete, Slot: f.now(),
+							Region: m.ID, Job: spec.ID, Subject: "persistent",
+							Cause: "completed-unreleased", Value: out.Cost})
+					}
 					rep.Legs = append(rep.Legs, Leg{Member: m.ID, Strategy: "persistent",
 						Report: client.Report{Strategy: "persistent", Outcome: out}})
 					rep.Outcome = mergeOutcomes(rep.Outcome, out)
 					break runLoop
 				}
 			}
+			if f.rec != nil {
+				f.rec.Emit(&event.Event{Kind: event.Drain, Slot: f.now(),
+					Region: m.ID, Job: spec.ID, Cause: abortReason(err)})
+			}
 			legOut, newExec, gerr := f.drain(m, spec, legSpec)
 			if gerr != nil {
 				return rep, gerr
+			}
+			if f.rec != nil {
+				// Aborted legs never reach the client's LegComplete emit —
+				// exactly one LegComplete per leg either way.
+				f.rec.Emit(&event.Event{Kind: event.LegComplete, Slot: f.now(),
+					Region: m.ID, Job: spec.ID, Subject: "persistent",
+					Cause: "aborted:" + abortReason(err), Value: legOut.Cost})
 			}
 			rep.Legs = append(rep.Legs, Leg{Member: m.ID, Strategy: "persistent",
 				Aborted: abortReason(err), Report: client.Report{Strategy: "persistent", Outcome: legOut}})
@@ -190,6 +217,11 @@ runLoop:
 			f.migrations++
 			f.met.Counter("fleet.migrations").Inc()
 			f.event(f.now(), "migrate", m.ID, fmt.Sprintf("draining; next leg exec %.4fh", float64(newExec)))
+			if f.rec != nil {
+				f.rec.Emit(&event.Event{Kind: event.Migrate, Slot: f.now(),
+					Region: m.ID, Job: spec.ID, Cause: abortReason(err),
+					Value: float64(newExec)})
+			}
 			continue
 		default:
 			return rep, err
@@ -306,6 +338,10 @@ func (f *Controller) escalate(spec job.Spec, legExec timeslot.Hours) (Leg, error
 	od.Exec = legExec
 	od.Recovery = 0 // on-demand never gets interrupted
 	f.event(f.now(), "escalate", m.ID, fmt.Sprintf("on-demand exec %.4fh", float64(legExec)))
+	if f.rec != nil {
+		f.rec.Emit(&event.Event{Kind: event.FallbackOnDemand, Slot: f.now(),
+			Region: m.ID, Job: spec.ID, Cause: "fleet-escalation", Value: float64(legExec)})
+	}
 	f.active = idx
 	cRep, err := m.Client.RunOnDemand(od)
 	f.active = -1

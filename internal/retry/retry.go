@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 )
 
 // transientError marks an error as retryable.
@@ -96,6 +97,13 @@ type Policy struct {
 	// The delays themselves are deterministic (seeded jitter), so the
 	// recorded values are too. Nil — the default — records nothing.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives a RetryAttempt flight-recorder
+	// event per failed transient attempt (Subject: the op, Value: the
+	// attempt number, 1-based). TraceSlot supplies the simulated slot
+	// to stamp — the policy itself has no clock; without it events are
+	// stamped slot 0. Nil Trace — the default — records nothing.
+	Trace     *event.Recorder
+	TraceSlot func() int
 }
 
 // Default returns the client runtime's standard policy.
@@ -156,6 +164,14 @@ func (p Policy) Do(op string, fn func() error) (Stats, error) {
 		if !IsTransient(err) {
 			p.record(op, st)
 			return st, err
+		}
+		if p.Trace != nil {
+			slot := 0
+			if p.TraceSlot != nil {
+				slot = p.TraceSlot()
+			}
+			p.Trace.Emit(&event.Event{Kind: event.RetryAttempt, Slot: slot,
+				Subject: op, Cause: "transient", Value: float64(st.Attempts)})
 		}
 		if attempt == p.Attempts-1 {
 			break

@@ -9,6 +9,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/market"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
 	"repro/internal/timeslot"
 )
 
@@ -179,6 +180,11 @@ type GenOptions struct {
 	// simulator (market.* metrics). Nil — the default — records
 	// nothing and changes no behavior.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives a PriceSet flight-recorder event
+	// per price *change* in the generated history (Region "generator",
+	// Subject: the instance type), slot-indexed into the generated
+	// grid. Nil — the default — records nothing.
+	Trace *event.Recorder
 }
 
 // Generate produces a synthetic spot-price history for the instance
@@ -262,5 +268,9 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 		opt.Metrics.Counter("trace.slots_generated").Add(int64(len(prices)))
 		opt.Metrics.Histogram("trace.price_usd", obs.PriceBuckets).ObserveBatch(prices)
 	}
+	// One PriceSet per price change; the batch path keeps tracing off
+	// the generator's critical path even under i.i.d. pricing, where
+	// every slot changes.
+	opt.Trace.EmitSeries(event.Event{Kind: event.PriceSet, Region: "generator", Subject: string(c.Type)}, prices)
 	return New(c.Type, grid, prices)
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/mapreduce"
 	"repro/internal/market"
+	"repro/internal/obs/event"
 	"repro/internal/retry"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
@@ -363,3 +364,42 @@ var NewFleet = fleet.NewController
 
 // ErrBreakerOpen aborts a member client's run when its breaker trips.
 var ErrBreakerOpen = fleet.ErrBreakerOpen
+
+// The deterministic flight recorder (see internal/obs/event):
+// slot-indexed structured events with causal job spans, exportable as
+// JSONL, Chrome trace-viewer JSON, or a plain-text timeline. Install
+// with Client.SetTrace, Region.SetTrace, or FleetConfig.Trace.
+type (
+	// TraceRecorder is the flight recorder; a nil *TraceRecorder is
+	// the no-op default.
+	TraceRecorder = event.Recorder
+	// TraceConfig tunes capacity and bounded/unbounded mode.
+	TraceConfig = event.Config
+	// TraceEvent is one recorded event; TraceSpan one causal-tree node.
+	TraceEvent = event.Event
+	TraceSpan  = event.Span
+	// TraceEventKind labels event types (TraceBidSubmitted, ...).
+	TraceEventKind = event.Kind
+)
+
+// NewRecorder builds a flight recorder (bounded ring buffer by
+// default; Unbounded for full experiment exports).
+var NewRecorder = event.NewRecorder
+
+// Flight-recorder event kinds.
+const (
+	TraceBidSubmitted      = event.BidSubmitted
+	TraceBidAccepted       = event.BidAccepted
+	TraceOutBid            = event.OutBid
+	TraceOutBidDelayed     = event.OutBidDelayed
+	TraceLaunchBlocked     = event.LaunchBlocked
+	TracePriceSet          = event.PriceSet
+	TraceRetryAttempt      = event.RetryAttempt
+	TraceFallbackOnDemand  = event.FallbackOnDemand
+	TraceBreakerTransition = event.BreakerTransition
+	TraceDrain             = event.Drain
+	TraceMigrate           = event.Migrate
+	TraceCheckpointExport  = event.CheckpointExport
+	TraceCheckpointImport  = event.CheckpointImport
+	TraceLegComplete       = event.LegComplete
+)
