@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json trace-demo
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core perfgate trace-demo
 
 all: check
 
@@ -28,7 +28,7 @@ race-obs:
 	$(GO) test -race ./internal/obs/ ./internal/obs/event/ ./internal/retry/ \
 		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
 		./internal/market/ ./internal/fleet/ ./internal/trace/ \
-		./internal/experiments/
+		./internal/dist/ ./internal/experiments/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
@@ -40,7 +40,7 @@ shuffle:
 no-wallclock:
 	sh scripts/no_wallclock.sh
 
-check: vet no-wallclock race-obs race shuffle
+check: vet no-wallclock race-obs race shuffle perfgate
 
 # Short fuzz pass over both history-parser targets.
 fuzz:
@@ -55,6 +55,18 @@ bench:
 # budget is < 5%.
 bench-json:
 	$(GO) run ./cmd/obsbench -out BENCH_obs.json
+
+# Hot-path before/after record (JSON): the incremental windowed ECDF
+# vs the legacy per-slot rebuild, and the trace memo vs regeneration,
+# plus current ns/op + allocs/op for the core operations. Commit the
+# refreshed BENCH_core.json after an intentional perf change.
+bench-core:
+	$(GO) run ./cmd/corebench -out BENCH_core.json
+
+# Ratio-based perf regression gate against the committed
+# BENCH_core.json; part of `make check`.
+perfgate:
+	sh scripts/perfgate.sh
 
 # Chaos-failover flight-recorder walkthrough: per-slot timeline on
 # stdout; see examples/flightrecorder for the Perfetto export flags.

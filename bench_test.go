@@ -26,6 +26,7 @@ func benchOpts(i int) experiments.Opts {
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -34,6 +35,7 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table3(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -46,6 +48,7 @@ func BenchmarkTable3(b *testing.B) {
 // observability layer's end-to-end overhead, budgeted at < 5%
 // (measured precisely by `make bench-json` → BENCH_obs.json).
 func BenchmarkTable3Instrumented(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(i)
 		o.Metrics = obs.New()
@@ -56,6 +59,7 @@ func BenchmarkTable3Instrumented(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure4(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -64,6 +68,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -72,6 +77,7 @@ func BenchmarkFigure5(b *testing.B) {
 }
 
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure6(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -80,6 +86,7 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 func BenchmarkTable4AndFigure7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.MapReduceEval(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -88,6 +95,7 @@ func BenchmarkTable4AndFigure7(b *testing.B) {
 }
 
 func BenchmarkStability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Stability(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -98,6 +106,7 @@ func BenchmarkStability(b *testing.B) {
 // BenchmarkAblations runs the five design-choice sweeps (β, t_r,
 // stickiness, M, collective bidding).
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(i)
 		if _, err := experiments.AblationBeta(o); err != nil {
@@ -123,6 +132,7 @@ func BenchmarkAblations(b *testing.B) {
 
 // BenchmarkForecastEval runs the §5 forecasting-horizon check.
 func BenchmarkForecastEval(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ForecastEval(benchOpts(i)); err != nil {
 			b.Fatal(err)

@@ -75,6 +75,9 @@ type Client struct {
 	// when live history fetches exhaust their retry budget.
 	mu       sync.Mutex
 	lastGood map[instances.Type]cachedECDF
+	// monitors holds the per-type incremental windowed ECDFs serving
+	// the clean (undegraded) price-monitor path; see monitor.go.
+	monitors map[instances.Type]*priceMonitor
 	// active is the spot tracker of the run in flight (nil outside
 	// runs and for on-demand runs). A controller that aborted a run
 	// via its Ticker reads the job's progress from here.
@@ -332,7 +335,17 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 		}
 		var e *dist.Empirical
 		if rejected == 0 {
-			e, err = hist.ECDF(0)
+			if c.Region.Injector() == nil {
+				// Clean telemetry from an undegraded region: serve from
+				// the incremental monitor instead of re-sorting the
+				// whole window. Element-identical to hist.ECDF(0) by
+				// the monitor's invariant; any armed injector (even at
+				// zero rates) keeps the legacy path so chaos semantics
+				// and RNG consumption are untouched.
+				e, err = c.monitorECDF(t, window, hist)
+			} else {
+				e, err = hist.ECDF(0)
+			}
 		} else {
 			valid := make([]float64, 0, len(hist.Prices)-rejected)
 			for _, p := range hist.Prices {

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/dist"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// priceMonitor is the incremental price-monitor state for one instance
+// type: a windowed ECDF tracking exactly the slots the legacy path
+// would hand to dist.NewEmpirical, advanced by one push per slot tick
+// instead of a full O(n log n) rebuild of the two-month window.
+//
+// The monitor is a pure cache. Its window contents are, by invariant,
+// the trailing min(ingested, capacity) slots of the region's backing
+// trace up to (but excluding) nextSlot; Snapshot therefore produces an
+// Empirical element-identical to the legacy rebuild, and the fast path
+// changes no observable behavior — only the work done to get there.
+type priceMonitor struct {
+	region   *cloud.Region  // backing region; a swap invalidates the cache
+	window   timeslot.Hours // the HistoryWindow the capacity was sized for
+	nextSlot int            // first backing-trace slot not yet ingested
+	win      *dist.WindowedECDF
+}
+
+// monitorRebuildGap is the slot gap beyond which catching up by
+// per-slot pushes (an O(n) memmove each) loses to one bulk Fill
+// (copy + sort); both produce identical windows, so the threshold is
+// purely a performance knob.
+const monitorRebuildGap = 256
+
+// monitorECDF serves the clean-path F_π estimate from the incremental
+// monitor. Callers guarantee hist is the undegraded zero-copy window
+// (no fault injector armed) and contains no rejectable quotes, so the
+// legacy equivalent would be dist.NewEmpirical(hist.Prices, 0); the
+// monitor returns an element-identical Empirical after ingesting only
+// the slots that are new since the previous fetch.
+func (c *Client) monitorECDF(t instances.Type, window timeslot.Hours, hist *trace.Trace) (*dist.Empirical, error) {
+	now := c.Region.Now()
+	start := now + 1 - hist.Len() // backing-trace slot of hist.Prices[0]
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.monitors == nil { // zero-value Client, constructed without New
+		c.monitors = make(map[instances.Type]*priceMonitor)
+	}
+	mon := c.monitors[t]
+	if mon == nil || mon.region != c.Region || mon.window != window {
+		capacity := c.Region.Grid().CeilSlots(window)
+		if h := c.Region.Horizon(); capacity > h {
+			capacity = h // the trace bounds the reachable window
+		}
+		if capacity < 1 {
+			capacity = 1
+		}
+		win, err := dist.NewWindowedECDF(capacity, 0)
+		if err != nil {
+			return nil, err
+		}
+		mon = &priceMonitor{region: c.Region, window: window, win: win}
+		c.monitors[t] = mon
+	}
+	switch delta := now + 1 - mon.nextSlot; {
+	case mon.win.N() == 0, delta < 0, mon.nextSlot < start, delta > monitorRebuildGap:
+		// Cold start, clock regression, or a gap past (or not worth)
+		// incremental catch-up: bulk-load the whole window.
+		if err := mon.win.Fill(hist.Prices); err != nil {
+			return nil, err
+		}
+	default:
+		// Steady state: ingest only the slots since the last fetch —
+		// one per tick in the run loops.
+		for _, p := range hist.Prices[mon.nextSlot-start:] {
+			if err := mon.win.Push(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	mon.nextSlot = now + 1
+	return mon.win.Snapshot(0)
+}

@@ -1,0 +1,116 @@
+package client
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/dist"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+)
+
+// legacyMarket rebuilds the F_π estimate the pre-monitor code path
+// produced: a fresh NewEmpirical over the raw PriceHistory window.
+func legacyMarket(t *testing.T, c *Client, typ instances.Type) *dist.Empirical {
+	t.Helper()
+	window := c.HistoryWindow
+	if window == 0 {
+		window = DefaultHistoryWindow
+	}
+	hist, err := c.Region.PriceHistory(typ, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dist.NewEmpirical(hist.Prices, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestMonitorMatchesLegacyRebuild drives the region slot by slot —
+// through warm-up, window saturation, and eviction — and checks the
+// incremental monitor serves an Empirical deep-equal to the legacy
+// full rebuild at every tick. This is the client half of the
+// element-identical acceptance contract.
+func TestMonitorMatchesLegacyRebuild(t *testing.T) {
+	c := newClient(t, 9)
+	// Shrink the window so saturation and eviction are reached quickly.
+	c.HistoryWindow = timeslot.Hours(4) // 48 slots
+	for i := 0; i < 120; i++ {
+		m, err := c.Market(instances.R3XLarge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m.Price, legacyMarket(t, c, instances.R3XLarge)) {
+			t.Fatalf("slot %d: monitor ECDF differs from legacy rebuild", c.Region.Now())
+		}
+		if err := c.Region.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMonitorCatchUpPaths exercises the non-steady-state transitions:
+// a gap small enough for incremental catch-up, a gap past the rebuild
+// threshold, and a window-size change — each must still match the
+// legacy rebuild exactly.
+func TestMonitorCatchUpPaths(t *testing.T) {
+	c := newClient(t, 13)
+	c.HistoryWindow = timeslot.Hours(48) // 576 slots
+	check := func() {
+		t.Helper()
+		m, err := c.Market(instances.R3XLarge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m.Price, legacyMarket(t, c, instances.R3XLarge)) {
+			t.Fatalf("slot %d: monitor ECDF differs from legacy rebuild", c.Region.Now())
+		}
+	}
+	check() // cold start: bulk fill
+	for i := 0; i < monitorRebuildGap/2; i++ {
+		if err := c.Region.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check() // small gap: incremental catch-up
+	for i := 0; i < monitorRebuildGap+10; i++ {
+		if err := c.Region.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check() // large gap: bulk refill
+	c.HistoryWindow = timeslot.Hours(24)
+	check() // window change: monitor rebuilt at the new capacity
+}
+
+// TestMonitorBypassedUnderInjector: any armed injector — even with all
+// rates zero, which must be behavior-preserving — keeps the legacy
+// path, so the run surface under chaos is exactly the pre-monitor code.
+// The reports must still agree, because the zero-rate contract and the
+// monitor's equivalence contract both pin the same output.
+func TestMonitorBypassedUnderInjector(t *testing.T) {
+	fast := newClient(t, 21)
+	legacy := newClient(t, 21)
+	legacy.Region.SetInjector(chaos.New(chaos.Config{}))
+
+	repFast, err := fast.RunPersistent(oneHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLegacy, err := legacy.RunPersistent(oneHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repFast, repLegacy) {
+		t.Fatalf("fast-path report differs from legacy-path report:\n%+v\nvs\n%+v", repFast, repLegacy)
+	}
+	if len(fast.monitors) == 0 {
+		t.Fatal("fast path did not engage the incremental monitor")
+	}
+	if len(legacy.monitors) != 0 {
+		t.Fatal("legacy path engaged the incremental monitor under an armed injector")
+	}
+}

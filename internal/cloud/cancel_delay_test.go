@@ -11,10 +11,10 @@ import (
 // and injects nothing else.
 type delayInjector struct{ delay int }
 
-func (d delayInjector) APIFault(op Op, slot int) error                      { return nil }
+func (d delayInjector) APIFault(op Op, slot int) error                        { return nil }
 func (d delayInjector) DegradeHistory(tr *trace.Trace, slot int) *trace.Trace { return tr }
-func (d delayInjector) LaunchBlocked(t instances.Type, slot int) bool       { return false }
-func (d delayInjector) OutbidDelay(slot int) int                            { return d.delay }
+func (d delayInjector) LaunchBlocked(t instances.Type, slot int) bool         { return false }
+func (d delayInjector) OutbidDelay(slot int) int                              { return d.delay }
 
 // TestCancelRacesDelayedOutbid: the user cancels a request whose
 // delayed out-bid notice is still in flight. The cancel must win

@@ -276,6 +276,14 @@ func (r *Region) SpotPrice(t instances.Type) (float64, error) {
 // PriceHistory returns the last h hours of spot prices up to and
 // including the current slot — the simulator's
 // DescribeSpotPriceHistory.
+//
+// The returned trace is a zero-copy view: its Prices slice aliases the
+// region's backing trace (one window header is allocated, no price
+// data is copied). Callers must treat it as immutable — the client's
+// price monitor only reads it, and the chaos injector follows
+// copy-on-degrade: DegradeHistory clones the window before mutating,
+// so a degraded response is always a private copy and the backing
+// trace is never perturbed.
 func (r *Region) PriceHistory(t instances.Type, h timeslot.Hours) (*trace.Trace, error) {
 	tr, ok := r.traces[t]
 	if !ok {
@@ -284,11 +292,15 @@ func (r *Region) PriceHistory(t instances.Type, h timeslot.Hours) (*trace.Trace,
 	if err := r.apiFault(OpPriceHistory); err != nil {
 		return nil, err
 	}
-	hist, err := tr.Window(0, r.clock.Now()+1)
-	if err != nil {
-		return nil, err
+	// Single window [to−n, to) over the backing trace, equivalent to
+	// the former Window(0, now+1) + LastHours(h) chain but with one
+	// header allocation instead of two.
+	to := r.clock.Now() + 1
+	from := to - tr.Grid.CeilSlots(h)
+	if from < 0 {
+		from = 0
 	}
-	out, err := hist.LastHours(h)
+	out, err := tr.Window(from, to)
 	if err != nil {
 		return nil, err
 	}

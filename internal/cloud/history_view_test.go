@@ -1,0 +1,100 @@
+package cloud
+
+import (
+	"testing"
+
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+// corruptingInjector is a minimal FaultInjector that always rewrites
+// the price-history window (internal/chaos cannot be imported here —
+// it depends on this package). Like chaos.Injector it clones before
+// mutating.
+type corruptingInjector struct{}
+
+func (corruptingInjector) APIFault(Op, int) error                 { return nil }
+func (corruptingInjector) LaunchBlocked(instances.Type, int) bool { return false }
+func (corruptingInjector) OutbidDelay(int) int                    { return 0 }
+func (corruptingInjector) DegradeHistory(tr *trace.Trace, _ int) *trace.Trace {
+	out := tr.Clone()
+	for i := range out.Prices {
+		out.Prices[i] *= 2
+	}
+	return out
+}
+
+// TestPriceHistoryZeroCopy: on the clean path PriceHistory is a view —
+// its Prices slice aliases the region's backing trace (no price data
+// copied), and its contents/grid match the documented window
+// [now+1−CeilSlots(h), now+1).
+func TestPriceHistoryZeroCopy(t *testing.T) {
+	prices := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+	tr := flatTrace(t, prices)
+	r, err := NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Tick()
+	}
+	// now = 3; a 2-slot window (DefaultSlot = 5 min ⇒ 10 min = 2 slots)
+	// covers slots 2 and 3.
+	hist, err := r.PriceHistory(instances.R3XLarge, timeslot.Hours(10.0/60.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 2 || hist.At(0) != 0.03 || hist.At(1) != 0.04 {
+		t.Fatalf("window = %v", hist.Prices)
+	}
+	if &hist.Prices[0] != &tr.Prices[2] {
+		t.Fatal("clean-path history does not alias the backing trace")
+	}
+	if got, want := hist.Grid.Start, tr.Grid.Time(2); !got.Equal(want) {
+		t.Fatalf("window grid starts at %v, want %v", got, want)
+	}
+	// A window wider than the available history is clamped to slot 0,
+	// still aliasing.
+	full, err := r.PriceHistory(instances.R3XLarge, timeslot.Hours(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 4 || &full.Prices[0] != &tr.Prices[0] {
+		t.Fatalf("clamped window len=%d, aliases=%v", full.Len(), &full.Prices[0] == &tr.Prices[0])
+	}
+}
+
+// TestPriceHistoryCopyOnDegrade: when an armed injector actually
+// mutates the window, the caller receives a private copy and the
+// backing trace is untouched.
+func TestPriceHistoryCopyOnDegrade(t *testing.T) {
+	prices := make([]float64, 64)
+	for i := range prices {
+		prices[i] = 0.01 + 0.001*float64(i)
+	}
+	tr := flatTrace(t, prices)
+	r, err := NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every quote so the degrade path always rewrites the
+	// window.
+	r.SetInjector(corruptingInjector{})
+	for i := 0; i < 32; i++ {
+		r.Tick()
+	}
+	backing := append([]float64(nil), tr.Prices...)
+	hist, err := r.PriceHistory(instances.R3XLarge, timeslot.Hours(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &hist.Prices[0] == &tr.Prices[32-hist.Len()] {
+		t.Fatal("degraded history aliases the backing trace")
+	}
+	for i, p := range tr.Prices {
+		if p != backing[i] {
+			t.Fatalf("backing trace mutated at slot %d: %v != %v", i, p, backing[i])
+		}
+	}
+}

@@ -18,6 +18,8 @@ type Empirical struct {
 	prefix []float64 // prefix[i] = Σ xs[:i], for O(log n) partial means
 	bins   []float64 // histogram bin edges, len = nb+1
 	dens   []float64 // histogram densities,  len = nb
+	mean   float64   // sample mean, fixed at construction
+	vari   float64   // unbiased sample variance, fixed at construction
 }
 
 // NewEmpirical builds an empirical distribution from the sample xs
@@ -36,45 +38,96 @@ func NewEmpirical(xs []float64, nbins int) (*Empirical, error) {
 		}
 	}
 	sort.Float64s(s)
-	if nbins <= 0 {
-		nbins = int(math.Ceil(math.Sqrt(float64(len(s)))))
-		if nbins < 1 {
-			nbins = 1
+	return newEmpiricalOwned(s, nbins), nil
+}
+
+// NewEmpiricalFromSorted builds an empirical distribution from a sample
+// that is already sorted ascending, skipping the O(n log n) sort. The
+// slice is copied; it must be finite and non-decreasing (verified in
+// one pass). This is the fast constructor behind WindowedECDF.Snapshot.
+func NewEmpiricalFromSorted(sorted []float64, nbins int) (*Empirical, error) {
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("%w: empirical distribution needs at least one sample", ErrBadParam)
+	}
+	for i, x := range sorted {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: empirical sample contains %v", ErrBadParam, x)
+		}
+		if i > 0 && x < sorted[i-1] {
+			return nil, fmt.Errorf("%w: sample is not sorted at index %d", ErrBadParam, i)
 		}
 	}
+	s := make([]float64, len(sorted))
+	copy(s, sorted)
+	return newEmpiricalOwned(s, nbins), nil
+}
+
+// newEmpiricalOwned finishes construction from a sorted, validated
+// sample the Empirical takes ownership of: prefix sums, cached moments,
+// histogram. Both constructors funnel here so their results are
+// element-identical for identical window contents.
+func newEmpiricalOwned(s []float64, nbins int) *Empirical {
 	e := &Empirical{xs: s, prefix: make([]float64, len(s)+1)}
 	for i, x := range s {
 		e.prefix[i+1] = e.prefix[i] + x
 	}
-	e.buildHistogram(nbins)
-	return e, nil
+	e.mean, e.vari = MeanVar(s)
+	e.bins, e.dens = histogramFor(s, nbins)
+	return e
 }
 
-func (e *Empirical) buildHistogram(nbins int) {
-	lo, hi := e.xs[0], e.xs[len(e.xs)-1]
+// histogramFor builds the equal-width histogram (bin edges + densities)
+// for a sorted sample — shared by Empirical and WindowedECDF so both
+// produce identical PDFs for identical windows. nbins ≤ 0 selects the
+// square-root rule.
+func histogramFor(xs []float64, nbins int) (bins, dens []float64) {
+	if nbins <= 0 {
+		nbins = int(math.Ceil(math.Sqrt(float64(len(xs)))))
+		if nbins < 1 {
+			nbins = 1
+		}
+	}
+	lo, hi := xs[0], xs[len(xs)-1]
 	if hi == lo {
 		// Degenerate sample: one point mass. Use a single
 		// sliver-width bin so the PDF stays finite.
 		w := math.Max(math.Abs(lo)*1e-9, 1e-12)
-		e.bins = []float64{lo - w/2, lo + w/2}
-		e.dens = []float64{1 / w}
-		return
+		return []float64{lo - w/2, lo + w/2}, []float64{1 / w}
 	}
-	e.bins = Linspace(lo, hi, nbins+1)
+	bins = Linspace(lo, hi, nbins+1)
 	counts := make([]int, nbins)
 	width := (hi - lo) / float64(nbins)
-	for _, x := range e.xs {
+	for _, x := range xs {
 		i := int((x - lo) / width)
 		if i >= nbins {
 			i = nbins - 1
 		}
 		counts[i]++
 	}
-	e.dens = make([]float64, nbins)
-	n := float64(len(e.xs))
+	dens = make([]float64, nbins)
+	n := float64(len(xs))
 	for i, c := range counts {
-		e.dens[i] = float64(c) / (n * width)
+		dens[i] = float64(c) / (n * width)
 	}
+	return bins, dens
+}
+
+// histPDF evaluates a histogram density at x — shared PDF kernel for
+// Empirical and WindowedECDF.
+func histPDF(bins, dens []float64, x float64) float64 {
+	if x < bins[0] || x > bins[len(bins)-1] {
+		return 0
+	}
+	// Binary search for the bin containing x.
+	i := sort.SearchFloat64s(bins, x)
+	// SearchFloat64s returns the first index with bins[i] >= x.
+	if i > 0 {
+		i--
+	}
+	if i >= len(dens) {
+		i = len(dens) - 1
+	}
+	return dens[i]
 }
 
 // N reports the sample size.
@@ -84,21 +137,7 @@ func (e *Empirical) N() int { return len(e.xs) }
 func (e *Empirical) Values() []float64 { return e.xs }
 
 // PDF implements Dist using the histogram density.
-func (e *Empirical) PDF(x float64) float64 {
-	if x < e.bins[0] || x > e.bins[len(e.bins)-1] {
-		return 0
-	}
-	// Binary search for the bin containing x.
-	i := sort.SearchFloat64s(e.bins, x)
-	// SearchFloat64s returns the first index with bins[i] >= x.
-	if i > 0 {
-		i--
-	}
-	if i >= len(e.dens) {
-		i = len(e.dens) - 1
-	}
-	return e.dens[i]
-}
+func (e *Empirical) PDF(x float64) float64 { return histPDF(e.bins, e.dens, x) }
 
 // CDF implements Dist with the right-continuous ECDF
 // F(x) = #{x_i ≤ x}/n.
@@ -131,17 +170,12 @@ func (e *Empirical) Sample(r *rand.Rand) float64 {
 	return e.xs[r.Intn(len(e.xs))]
 }
 
-// Mean implements Dist.
-func (e *Empirical) Mean() float64 {
-	m, _ := MeanVar(e.xs)
-	return m
-}
+// Mean implements Dist. The sample mean is computed once at
+// construction (the sample is immutable), not on every call.
+func (e *Empirical) Mean() float64 { return e.mean }
 
-// Var implements Dist.
-func (e *Empirical) Var() float64 {
-	_, v := MeanVar(e.xs)
-	return v
-}
+// Var implements Dist. Like Mean, fixed at construction.
+func (e *Empirical) Var() float64 { return e.vari }
 
 // Support implements Dist.
 func (e *Empirical) Support() Interval {

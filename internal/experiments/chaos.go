@@ -94,93 +94,121 @@ func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, off
 func ChaosSweep(o Opts) (ChaosResult, error) {
 	o = o.withDefaults()
 	typ := instances.R3XLarge
-	var res ChaosResult
-	baseline := map[string]ChaosRow{} // strategy → rate-0 row
+
+	// Flatten the rate×strategy grid so every (cell, run) pair shares
+	// one worker pool instead of a barrier per cell.
+	type chaosCell struct {
+		rate     float64
+		si       int
+		strategy string
+	}
+	var cells []chaosCell
 	for _, rate := range chaosRates {
 		for si, strategy := range chaosStrategies {
-			row := ChaosRow{Strategy: strategy, Rate: rate, Runs: o.Runs}
-			offs := offsets(o.Runs, o.Seed+int64(si))
-			type runResult struct {
-				rep    client.Report
-				faults chaos.Stats
-				err    error
+			cells = append(cells, chaosCell{rate: rate, si: si, strategy: strategy})
+		}
+	}
+	type runResult struct {
+		rep    client.Report
+		faults chaos.Stats
+		err    error
+	}
+	results := make([][]runResult, len(cells))
+	// Each parallel repetition records into its own registry; the
+	// snapshots merge into o.Metrics in cell-major run order below,
+	// keeping the aggregate independent of worker scheduling.
+	var regs [][]*obs.Registry
+	if o.Metrics != nil {
+		regs = make([][]*obs.Registry, len(cells))
+	}
+	cellOffs := make([][]int, len(cells))
+	for ci, cell := range cells {
+		results[ci] = make([]runResult, o.Runs)
+		cellOffs[ci] = offsets(o.Runs, o.Seed+int64(cell.si))
+		if regs != nil {
+			regs[ci] = make([]*obs.Registry, o.Runs)
+			for run := range regs[ci] {
+				regs[ci][run] = obs.New()
 			}
-			results := make([]runResult, o.Runs)
-			// Each parallel repetition records into its own registry;
-			// the snapshots merge into o.Metrics in run order below,
-			// keeping the aggregate independent of worker scheduling.
-			var regs []*obs.Registry
-			if o.Metrics != nil {
-				regs = make([]*obs.Registry, o.Runs)
-				for run := range regs {
-					regs[run] = obs.New()
-				}
-			}
-			err := forEachRun(o.Runs, func(run int) error {
-				seed := o.Seed + int64(si)*2003 + int64(run)*7919
-				var met *obs.Registry
-				if regs != nil {
-					met = regs[run]
-				}
-				// Run 0 only — see Opts.Trace's determinism note.
-				var rec *event.Recorder
-				if run == 0 {
-					rec = o.Trace
-				}
-				rep, st, err := chaosRun(typ, strategy, rate, seed, offs[run], o.Days, met, rec)
-				// A client that cannot start its job at all is a data
-				// point, not an experiment failure.
-				results[run] = runResult{rep: rep, faults: st, err: err}
-				return nil
-			})
-			if err != nil {
-				return ChaosResult{}, err
-			}
-			for _, reg := range regs {
+		}
+	}
+	// Run 0 of every cell feeds the shared recorder, serialized in
+	// cell order by the scheduler — see Opts.Trace's determinism note.
+	var traced func(int) bool
+	if o.Trace != nil {
+		traced = func(int) bool { return true }
+	}
+	err := forEachCellRun(len(cells), o.Runs, traced, func(ci, run int) error {
+		cell := cells[ci]
+		seed := o.Seed + int64(cell.si)*2003 + int64(run)*7919
+		var met *obs.Registry
+		if regs != nil {
+			met = regs[ci][run]
+		}
+		var rec *event.Recorder
+		if run == 0 {
+			rec = o.Trace
+		}
+		rep, st, err := chaosRun(typ, cell.strategy, cell.rate, seed, cellOffs[ci][run], o.Days, met, rec)
+		// A client that cannot start its job at all is a data
+		// point, not an experiment failure.
+		results[ci][run] = runResult{rep: rep, faults: st, err: err}
+		return nil
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	var res ChaosResult
+	baseline := map[string]ChaosRow{} // strategy → rate-0 row
+	for ci, cell := range cells {
+		row := ChaosRow{Strategy: cell.strategy, Rate: cell.rate, Runs: o.Runs}
+		if regs != nil {
+			for _, reg := range regs[ci] {
 				if err := o.Metrics.Merge(reg.Snapshot()); err != nil {
 					return ChaosResult{}, fmt.Errorf("experiments: merging chaos run metrics: %w", err)
 				}
 			}
-			var cost, compl float64
-			for _, r := range results {
-				row.Faults += r.faults.Total()
-				if r.err != nil {
-					row.Errored++
-					continue
-				}
-				if r.rep.Telemetry.FellBackOnDemand {
-					row.FellBack++
-				}
-				if r.rep.Telemetry.Stale {
-					row.StaleRuns++
-				}
-				if !r.rep.Outcome.Completed {
-					continue
-				}
-				row.Completed++
-				cost += r.rep.Outcome.Cost
-				compl += float64(r.rep.Outcome.Completion)
-				row.Interruptions += r.rep.Outcome.Interruptions
-				row.CheckpointFailures += r.rep.Outcome.CheckpointFailures
-			}
-			if row.Completed > 0 {
-				row.MeanCost = cost / float64(row.Completed)
-				row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
-			}
-			o.Metrics.Counter("experiments.chaos.runs").Add(int64(row.Runs))
-			o.Metrics.Counter("experiments.chaos.completed").Add(int64(row.Completed))
-			o.Metrics.Counter("experiments.chaos.errored").Add(int64(row.Errored))
-			if rate == 0 {
-				if row.Completed == 0 {
-					return ChaosResult{}, fmt.Errorf("experiments: fault-free %s baseline never completed", strategy)
-				}
-				baseline[strategy] = row
-			} else if base, ok := baseline[strategy]; ok && row.Completed > 0 {
-				row.CostDegradation = row.MeanCost/base.MeanCost - 1
-				row.CompletionDegradation = float64(row.MeanCompletion)/float64(base.MeanCompletion) - 1
-			}
-			res.Rows = append(res.Rows, row)
 		}
+		var cost, compl float64
+		for _, r := range results[ci] {
+			row.Faults += r.faults.Total()
+			if r.err != nil {
+				row.Errored++
+				continue
+			}
+			if r.rep.Telemetry.FellBackOnDemand {
+				row.FellBack++
+			}
+			if r.rep.Telemetry.Stale {
+				row.StaleRuns++
+			}
+			if !r.rep.Outcome.Completed {
+				continue
+			}
+			row.Completed++
+			cost += r.rep.Outcome.Cost
+			compl += float64(r.rep.Outcome.Completion)
+			row.Interruptions += r.rep.Outcome.Interruptions
+			row.CheckpointFailures += r.rep.Outcome.CheckpointFailures
+		}
+		if row.Completed > 0 {
+			row.MeanCost = cost / float64(row.Completed)
+			row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
+		}
+		o.Metrics.Counter("experiments.chaos.runs").Add(int64(row.Runs))
+		o.Metrics.Counter("experiments.chaos.completed").Add(int64(row.Completed))
+		o.Metrics.Counter("experiments.chaos.errored").Add(int64(row.Errored))
+		if cell.rate == 0 {
+			if row.Completed == 0 {
+				return ChaosResult{}, fmt.Errorf("experiments: fault-free %s baseline never completed", cell.strategy)
+			}
+			baseline[cell.strategy] = row
+		} else if base, ok := baseline[cell.strategy]; ok && row.Completed > 0 {
+			row.CostDegradation = row.MeanCost/base.MeanCost - 1
+			row.CompletionDegradation = float64(row.MeanCompletion)/float64(base.MeanCompletion) - 1
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

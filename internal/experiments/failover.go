@@ -133,72 +133,90 @@ func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Reg
 // job on spot capacity, strictly cheaper than all-on-demand.
 func FailoverSweep(o Opts) (FailoverResult, error) {
 	o = o.withDefaults()
-	var res FailoverResult
+	// Flatten the rate×fleet-size grid into one pool of (cell, run)
+	// pairs; run 0 of each cell feeds the shared flight recorder,
+	// serialized in cell order by the scheduler (see Opts.Trace).
+	type failoverCell struct {
+		rate float64
+		ni   int
+		n    int
+	}
+	var cells []failoverCell
 	for _, rate := range failoverRates {
 		for ni, n := range failoverRegionCounts {
-			row := FailoverRow{Regions: n, Rate: rate, Runs: o.Runs}
-			offs := offsets(o.Runs, o.Seed+int64(ni))
-			type runResult struct {
-				rep  fleet.Report
-				base float64
-				met  *obs.Registry
-				err  error
-			}
-			results := make([]runResult, o.Runs)
-			err := forEachRun(o.Runs, func(run int) error {
-				seed := o.Seed + int64(ni)*2003 + int64(run)*7919
-				met := obs.New()
-				// Only run 0 feeds the shared flight recorder: its
-				// emissions are sequential in its own goroutine and cells
-				// execute in order, so the trace stays deterministic under
-				// parallel repetition (see Opts.Trace).
-				var rec *event.Recorder
-				if run == 0 {
-					rec = o.Trace
-				}
-				rep, base, err := failoverRun(n, rate, seed, offs[run], o.Days, met, rec)
-				results[run] = runResult{rep: rep, base: base, met: met, err: err}
-				return nil
-			})
-			if err != nil {
-				return FailoverResult{}, err
-			}
-			var cost, base, compl float64
-			for _, r := range results {
-				if r.err != nil {
-					row.Errored++
-					continue
-				}
-				row.Trips += int(r.met.CounterValue("fleet.trips"))
-				row.Migrations += int(r.met.CounterValue("fleet.migrations"))
-				row.Escalations += int(r.met.CounterValue("fleet.escalations"))
-				if o.Metrics != nil {
-					if err := o.Metrics.Merge(r.met.Snapshot()); err != nil {
-						return FailoverResult{}, fmt.Errorf("experiments: merging failover run metrics: %w", err)
-					}
-				}
-				if !r.rep.Outcome.Completed {
-					row.Lost++
-					continue
-				}
-				row.Completed++
-				cost += r.rep.FleetCost
-				base += r.base
-				compl += float64(r.rep.Outcome.Completion)
-			}
-			if row.Completed > 0 {
-				row.MeanFleetCost = cost / float64(row.Completed)
-				row.MeanOnDemand = base / float64(row.Completed)
-				row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
-				if row.MeanOnDemand > 0 {
-					row.Savings = 1 - row.MeanFleetCost/row.MeanOnDemand
-				}
-			}
-			o.Metrics.Counter("experiments.failover.runs").Add(int64(row.Runs))
-			o.Metrics.Counter("experiments.failover.completed").Add(int64(row.Completed))
-			o.Metrics.Counter("experiments.failover.lost").Add(int64(row.Lost))
-			res.Rows = append(res.Rows, row)
+			cells = append(cells, failoverCell{rate: rate, ni: ni, n: n})
 		}
+	}
+	type runResult struct {
+		rep  fleet.Report
+		base float64
+		met  *obs.Registry
+		err  error
+	}
+	results := make([][]runResult, len(cells))
+	cellOffs := make([][]int, len(cells))
+	for ci, cell := range cells {
+		results[ci] = make([]runResult, o.Runs)
+		cellOffs[ci] = offsets(o.Runs, o.Seed+int64(cell.ni))
+	}
+	var traced func(int) bool
+	if o.Trace != nil {
+		traced = func(int) bool { return true }
+	}
+	err := forEachCellRun(len(cells), o.Runs, traced, func(ci, run int) error {
+		cell := cells[ci]
+		seed := o.Seed + int64(cell.ni)*2003 + int64(run)*7919
+		met := obs.New()
+		var rec *event.Recorder
+		if run == 0 {
+			rec = o.Trace
+		}
+		rep, base, err := failoverRun(cell.n, cell.rate, seed, cellOffs[ci][run], o.Days, met, rec)
+		results[ci][run] = runResult{rep: rep, base: base, met: met, err: err}
+		return nil
+	})
+	if err != nil {
+		return FailoverResult{}, err
+	}
+
+	var res FailoverResult
+	for ci, cell := range cells {
+		row := FailoverRow{Regions: cell.n, Rate: cell.rate, Runs: o.Runs}
+		var cost, base, compl float64
+		for _, r := range results[ci] {
+			if r.err != nil {
+				row.Errored++
+				continue
+			}
+			row.Trips += int(r.met.CounterValue("fleet.trips"))
+			row.Migrations += int(r.met.CounterValue("fleet.migrations"))
+			row.Escalations += int(r.met.CounterValue("fleet.escalations"))
+			if o.Metrics != nil {
+				if err := o.Metrics.Merge(r.met.Snapshot()); err != nil {
+					return FailoverResult{}, fmt.Errorf("experiments: merging failover run metrics: %w", err)
+				}
+			}
+			if !r.rep.Outcome.Completed {
+				row.Lost++
+				continue
+			}
+			row.Completed++
+			cost += r.rep.FleetCost
+			base += r.base
+			compl += float64(r.rep.Outcome.Completion)
+		}
+		if row.Completed > 0 {
+			row.MeanFleetCost = cost / float64(row.Completed)
+			row.MeanOnDemand = base / float64(row.Completed)
+			row.MeanCompletion = timeslot.Hours(compl / float64(row.Completed))
+			if row.MeanOnDemand > 0 {
+				row.Savings = 1 - row.MeanFleetCost/row.MeanOnDemand
+			}
+		}
+		o.Metrics.Counter("experiments.failover.runs").Add(int64(row.Runs))
+		o.Metrics.Counter("experiments.failover.completed").Add(int64(row.Completed))
+		o.Metrics.Counter("experiments.failover.lost").Add(int64(row.Lost))
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

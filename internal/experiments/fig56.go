@@ -88,35 +88,42 @@ type Fig5Result struct{ Rows []Fig5Row }
 // type at random times of day, billed on the simulated cloud.
 func Figure5(o Opts) (Fig5Result, error) {
 	o = o.withDefaults()
-	var res Fig5Result
-	for ti, typ := range instances.Table3Types() {
-		row := Fig5Row{Type: typ, Runs: o.Runs}
-		offs := offsets(o.Runs, o.Seed+int64(ti))
-		// Repetitions are independent (private regions); run them on
-		// a worker pool and aggregate afterwards.
-		type runResult struct {
-			rep, bo client.Report
-		}
-		results := make([]runResult, o.Runs)
-		err := forEachRun(o.Runs, func(run int) error {
-			seed := o.Seed + int64(ti)*1013 + int64(run)*7919
-			rep, err := singleRun(typ, "one-time", seed, offs[run], o.Days)
-			if err != nil {
-				return err
-			}
-			bo, err := singleRun(typ, "best-offline", seed, offs[run], o.Days)
-			if err != nil {
-				return err
-			}
-			results[run] = runResult{rep: rep, bo: bo}
-			return nil
-		})
+	types := instances.Table3Types()
+	// Repetitions are independent (private regions); every (type, run)
+	// pair goes through one shared worker pool, with aggregation in
+	// cell order afterwards.
+	type runResult struct {
+		rep, bo client.Report
+	}
+	results := make([][]runResult, len(types))
+	cellOffs := make([][]int, len(types))
+	for ti := range types {
+		results[ti] = make([]runResult, o.Runs)
+		cellOffs[ti] = offsets(o.Runs, o.Seed+int64(ti))
+	}
+	err := forEachCellRun(len(types), o.Runs, nil, func(ti, run int) error {
+		typ := types[ti]
+		seed := o.Seed + int64(ti)*1013 + int64(run)*7919
+		rep, err := singleRun(typ, "one-time", seed, cellOffs[ti][run], o.Days)
 		if err != nil {
-			return Fig5Result{}, err
+			return err
 		}
+		bo, err := singleRun(typ, "best-offline", seed, cellOffs[ti][run], o.Days)
+		if err != nil {
+			return err
+		}
+		results[ti][run] = runResult{rep: rep, bo: bo}
+		return nil
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	var res Fig5Result
+	for ti, typ := range types {
+		row := Fig5Row{Type: typ, Runs: o.Runs}
 		var measured, analytic, offline float64
 		var completed, offlineDone int
-		for _, r := range results {
+		for _, r := range results[ti] {
 			if r.rep.Outcome.Completed {
 				completed++
 				measured += r.rep.Outcome.Cost
@@ -203,9 +210,45 @@ var fig6Strategies = []string{"persistent-10", "persistent-30", "percentile-90"}
 // percentage differences of Fig. 6(a–c).
 func Figure6(o Opts) (Fig6Result, error) {
 	o = o.withDefaults()
+	types := instances.Table3Types()
+	type pair struct {
+		base citizenReport
+		arms map[string]citizenReport
+	}
+	pairs := make([][]pair, len(types))
+	cellOffs := make([][]int, len(types))
+	for ti := range types {
+		pairs[ti] = make([]pair, o.Runs)
+		cellOffs[ti] = offsets(o.Runs, o.Seed+int64(ti))
+	}
+	err := forEachCellRun(len(types), o.Runs, nil, func(ti, run int) error {
+		typ := types[ti]
+		seed := o.Seed + int64(ti)*1013 + int64(run)*7919
+		base, err := singleRun(typ, "one-time", seed, cellOffs[ti][run], o.Days)
+		if err != nil {
+			return err
+		}
+		p := pair{base: citizenReport{base, true}, arms: make(map[string]citizenReport, len(fig6Strategies))}
+		if !base.Outcome.Completed {
+			p.base.ok = false // the paper's baseline never failed; skip the pair
+			pairs[ti][run] = p
+			return nil
+		}
+		for _, s := range fig6Strategies {
+			rep, err := singleRun(typ, s, seed, cellOffs[ti][run], o.Days)
+			if err != nil {
+				return err
+			}
+			p.arms[s] = citizenReport{rep, rep.Outcome.Completed}
+		}
+		pairs[ti][run] = p
+		return nil
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
 	var res Fig6Result
-	for ti, typ := range instances.Table3Types() {
-		offs := offsets(o.Runs, o.Seed+int64(ti))
+	for ti, typ := range types {
 		type acc struct {
 			bid, price, compl, cost, inter float64
 			n                              int
@@ -214,37 +257,7 @@ func Figure6(o Opts) (Fig6Result, error) {
 		for _, s := range fig6Strategies {
 			accs[s] = &acc{}
 		}
-		type pair struct {
-			base citizenReport
-			arms map[string]citizenReport
-		}
-		pairs := make([]pair, o.Runs)
-		err := forEachRun(o.Runs, func(run int) error {
-			seed := o.Seed + int64(ti)*1013 + int64(run)*7919
-			base, err := singleRun(typ, "one-time", seed, offs[run], o.Days)
-			if err != nil {
-				return err
-			}
-			p := pair{base: citizenReport{base, true}, arms: make(map[string]citizenReport, len(fig6Strategies))}
-			if !base.Outcome.Completed {
-				p.base.ok = false // the paper's baseline never failed; skip the pair
-				pairs[run] = p
-				return nil
-			}
-			for _, s := range fig6Strategies {
-				rep, err := singleRun(typ, s, seed, offs[run], o.Days)
-				if err != nil {
-					return err
-				}
-				p.arms[s] = citizenReport{rep, rep.Outcome.Completed}
-			}
-			pairs[run] = p
-			return nil
-		})
-		if err != nil {
-			return Fig6Result{}, err
-		}
-		for _, p := range pairs {
+		for _, p := range pairs[ti] {
 			if !p.base.ok {
 				continue
 			}

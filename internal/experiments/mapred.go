@@ -95,78 +95,84 @@ type Fig7Result struct{ Rows []Fig7Row }
 // produces both Table 4 and Figure 7.
 func MapReduceEval(o Opts) (Table4Result, Fig7Result, error) {
 	o = o.withDefaults()
+	settings := Table4Settings()
+	type mrRun struct {
+		rep client.MapReduceReport
+		od  mapreduce.Result
+		ok  bool
+	}
+	runsOut := make([][]mrRun, len(settings))
+	cellOffs := make([][]int, len(settings))
+	for si := range settings {
+		runsOut[si] = make([]mrRun, o.Runs)
+		cellOffs[si] = offsets(o.Runs, o.Seed+int64(si))
+	}
+	// Both arms of each repetition run on private regions: every
+	// (setting, run) pair schedules freely through one shared pool,
+	// deterministic by seed; aggregation follows in setting order.
+	err := forEachCellRun(len(settings), o.Runs, nil, func(si, run int) error {
+		setting := settings[si]
+		seed := o.Seed + int64(si)*2003 + int64(run)*7919
+		spec, err := mrSpec(setting, seed)
+		if err != nil {
+			return err
+		}
+
+		// Spot arm.
+		region, err := regionFor([]instances.Type{setting.Master, setting.Slave}, seed, o.Days)
+		if err != nil {
+			return err
+		}
+		cl, err := client.New(region)
+		if err != nil {
+			return err
+		}
+		if err := cl.Skip(historySlots + cellOffs[si][run]); err != nil {
+			return err
+		}
+		rep, err := cl.RunMapReduce(spec)
+		if err != nil {
+			return err
+		}
+		if !rep.Result.Completed {
+			return nil
+		}
+
+		// On-demand arm on an identical fresh region, same M.
+		region2, err := regionFor([]instances.Type{setting.Master, setting.Slave}, seed, o.Days)
+		if err != nil {
+			return err
+		}
+		cl2, err := client.New(region2)
+		if err != nil {
+			return err
+		}
+		if err := cl2.Skip(historySlots + cellOffs[si][run]); err != nil {
+			return err
+		}
+		od, err := cl2.RunMapReduceOnDemand(spec, rep.Plan.Workers)
+		if err != nil {
+			return err
+		}
+		if !od.Completed {
+			return nil
+		}
+		runsOut[si][run] = mrRun{rep: rep, od: od, ok: true}
+		return nil
+	})
 	var t4 Table4Result
 	var f7 Fig7Result
-	for si, setting := range Table4Settings() {
-		offs := offsets(o.Runs, o.Seed+int64(si))
-		type mrRun struct {
-			rep client.MapReduceReport
-			od  mapreduce.Result
-			ok  bool
-		}
-		runsOut := make([]mrRun, o.Runs)
-		// Both arms of each repetition run on private regions:
-		// parallel across repetitions, deterministic by seed.
-		err := forEachRun(o.Runs, func(run int) error {
-			seed := o.Seed + int64(si)*2003 + int64(run)*7919
-			spec, err := mrSpec(setting, seed)
-			if err != nil {
-				return err
-			}
-
-			// Spot arm.
-			region, err := regionFor([]instances.Type{setting.Master, setting.Slave}, seed, o.Days)
-			if err != nil {
-				return err
-			}
-			cl, err := client.New(region)
-			if err != nil {
-				return err
-			}
-			if err := cl.Skip(historySlots + offs[run]); err != nil {
-				return err
-			}
-			rep, err := cl.RunMapReduce(spec)
-			if err != nil {
-				return err
-			}
-			if !rep.Result.Completed {
-				return nil
-			}
-
-			// On-demand arm on an identical fresh region, same M.
-			region2, err := regionFor([]instances.Type{setting.Master, setting.Slave}, seed, o.Days)
-			if err != nil {
-				return err
-			}
-			cl2, err := client.New(region2)
-			if err != nil {
-				return err
-			}
-			if err := cl2.Skip(historySlots + offs[run]); err != nil {
-				return err
-			}
-			od, err := cl2.RunMapReduceOnDemand(spec, rep.Plan.Workers)
-			if err != nil {
-				return err
-			}
-			if !od.Completed {
-				return nil
-			}
-			runsOut[run] = mrRun{rep: rep, od: od, ok: true}
-			return nil
-		})
-		if err != nil {
-			return t4, f7, err
-		}
-
+	if err != nil {
+		return t4, f7, err
+	}
+	for si, setting := range settings {
 		var (
 			mCost, sCost, spotCost, spotCompl float64
 			anCost, anCompl, odCost, odCompl  float64
 			masterBid, slaveBid               float64
 			workers, completed                int
 		)
-		for _, r := range runsOut {
+		for _, r := range runsOut[si] {
 			if !r.ok {
 				continue
 			}

@@ -198,6 +198,14 @@ func Generate(t instances.Type, opt GenOptions) (*Trace, error) {
 }
 
 // Generate produces a synthetic history from this calibration.
+//
+// Generation is memoized (see memo.go): two calls with the same
+// calibration and options return traces sharing one immutable price
+// series, with the generation-time observability (metrics, PriceSet
+// flight-recorder series) replayed identically on a hit. The sole
+// non-cacheable combination is FullDynamics with a Metrics registry,
+// whose queue simulator records per-slot market.* series that cannot
+// be replayed from the price series alone.
 func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 	if opt.Days == 0 {
 		opt.Days = 61
@@ -208,8 +216,30 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	dwell := opt.DwellSlots
+	if dwell == 0 {
+		dwell = 18
+	}
+	if dwell < 1 {
+		return nil, fmt.Errorf("trace: dwell %d must be at least 1 slot", opt.DwellSlots)
+	}
 	grid := timeslot.NewGrid(timeslot.DefaultSlot)
 	n := opt.Days * int(grid.SlotsPerHour()) * 24
+
+	key := memoKey{
+		cal:     c,
+		days:    opt.Days,
+		seed:    opt.Seed,
+		full:    opt.FullDynamics,
+		diurnal: opt.DiurnalAmplitude,
+		dwell:   dwell,
+	}
+	cacheable := !(opt.FullDynamics && opt.Metrics != nil)
+	if cacheable {
+		if ent, ok := memoLookup(key); ok {
+			return c.emitGenerated(opt, grid, ent.prices, ent.switches, dwell)
+		}
+	}
 
 	par, err := c.ArrivalDist()
 	if err != nil {
@@ -224,15 +254,8 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 	}
 	r := rand.New(rand.NewSource(opt.Seed))
 
-	dwell := opt.DwellSlots
-	if dwell == 0 {
-		dwell = 18
-	}
-	if dwell < 1 {
-		return nil, fmt.Errorf("trace: dwell %d must be at least 1 slot", opt.DwellSlots)
-	}
-
 	var prices []float64
+	var switches int64
 	if opt.FullDynamics {
 		sim := market.Simulator{Provider: c.Provider, Arrivals: proc, Warmup: 1000, Metrics: opt.Metrics}
 		res, err := sim.Run(n, r)
@@ -252,7 +275,6 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 			// is untouched; only the temporal grain changes.
 			switchP := 1 / float64(dwell)
 			cur := prices[0]
-			switches := int64(0)
 			for i := 1; i < n; i++ {
 				if r.Float64() >= switchP {
 					prices[i] = cur
@@ -261,8 +283,21 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 					switches++
 				}
 			}
-			opt.Metrics.Counter("trace.dwell_switches").Add(switches)
 		}
+	}
+	if cacheable {
+		memoStore(key, memoEntry{prices: prices, switches: switches})
+	}
+	return c.emitGenerated(opt, grid, prices, switches, dwell)
+}
+
+// emitGenerated performs the observable tail of a generation — the
+// trace.* metrics, the PriceSet flight-recorder series, and Trace
+// construction — identically for a fresh series and a cache hit, so
+// memoization cannot be distinguished by any snapshot or export.
+func (c Calibration) emitGenerated(opt GenOptions, grid timeslot.Grid, prices []float64, switches int64, dwell int) (*Trace, error) {
+	if !opt.FullDynamics && dwell > 1 {
+		opt.Metrics.Counter("trace.dwell_switches").Add(switches)
 	}
 	if opt.Metrics != nil {
 		opt.Metrics.Counter("trace.slots_generated").Add(int64(len(prices)))

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Trace generation is deterministic: the price series is a pure
+// function of (calibration, seed, days, dynamics model, diurnal
+// modulation, dwell grain). Every figure/table experiment and every
+// forEachRun repetition that shares a region configuration therefore
+// regenerates byte-identical prices — the single most expensive step
+// of a run (arrival draws + equilibrium inversion per slot). The memo
+// below caches the generated series under exactly that key.
+//
+// Determinism is preserved, not merely approximated: a cache hit
+// replays the same observable effects a miss produces — the
+// trace.slots_generated / trace.dwell_switches counters, the
+// trace.price_usd histogram batch, and the PriceSet flight-recorder
+// series — in the same order, so metrics snapshots and trace exports
+// are byte-identical whether the series came from the generator or the
+// cache. The one path that cannot be replayed is FullDynamics with a
+// Metrics registry attached (the queue simulator records per-slot
+// market.* series while running); Generate bypasses the memo there.
+//
+// Cached series are shared: Generate returns a fresh *Trace header
+// whose Prices slice aliases the cache entry. Every consumer treats
+// generated prices as immutable (the market reads them; PriceHistory
+// returns read-only views; the chaos injector clones before mutating),
+// matching Region.PriceHistory's aliasing contract.
+
+// memoKey identifies one deterministic generation. GenOptions fields
+// are normalized (defaults applied) before lookup so Generate(opt) and
+// Generate(normalized opt) share an entry.
+type memoKey struct {
+	cal     Calibration
+	days    int
+	seed    int64
+	full    bool
+	diurnal float64
+	dwell   int
+}
+
+// memoEntry holds the replayable outcome of one generation.
+type memoEntry struct {
+	prices   []float64 // immutable, shared with every hit
+	switches int64     // dwell regime changes (replayed into Metrics)
+}
+
+// defaultMemoCapacity bounds the cache at ~32 two-month series
+// (≈ 150 KB each), comfortably covering the distinct (type, seed)
+// combinations of the largest sweep while staying a few MB total.
+const defaultMemoCapacity = 32
+
+var memo = struct {
+	sync.Mutex
+	capacity int
+	entries  map[memoKey]*list.Element // value: *memoPair
+	order    *list.List                // front = most recently used
+	hits     uint64
+	misses   uint64
+}{capacity: defaultMemoCapacity}
+
+type memoPair struct {
+	key   memoKey
+	entry memoEntry
+}
+
+// SetMemoCapacity resizes the generation cache. n ≤ 0 disables
+// memoization entirely (every Generate runs the full generator — the
+// reference path for cache-equivalence tests). The cache is cleared
+// either way.
+func SetMemoCapacity(n int) {
+	memo.Lock()
+	defer memo.Unlock()
+	memo.capacity = n
+	memo.entries = nil
+	memo.order = nil
+	memo.hits, memo.misses = 0, 0
+}
+
+// ResetMemo clears the generation cache, keeping its capacity.
+func ResetMemo() {
+	memo.Lock()
+	defer memo.Unlock()
+	memo.entries = nil
+	memo.order = nil
+	memo.hits, memo.misses = 0, 0
+}
+
+// MemoStats reports cache hits and misses since the last reset —
+// observability for the memo itself, and the handle tests use to prove
+// a sweep actually dedupes generation.
+func MemoStats() (hits, misses uint64) {
+	memo.Lock()
+	defer memo.Unlock()
+	return memo.hits, memo.misses
+}
+
+// memoLookup returns the cached entry for key, if any.
+func memoLookup(key memoKey) (memoEntry, bool) {
+	memo.Lock()
+	defer memo.Unlock()
+	if memo.capacity <= 0 || memo.entries == nil {
+		if memo.capacity > 0 {
+			memo.misses++
+		}
+		return memoEntry{}, false
+	}
+	el, ok := memo.entries[key]
+	if !ok {
+		memo.misses++
+		return memoEntry{}, false
+	}
+	memo.hits++
+	memo.order.MoveToFront(el)
+	return el.Value.(*memoPair).entry, true
+}
+
+// memoStore records a freshly generated series. Concurrent generators
+// may race to fill the same key; entries are value-identical (the
+// generator is deterministic), so last-write-wins is harmless.
+func memoStore(key memoKey, entry memoEntry) {
+	memo.Lock()
+	defer memo.Unlock()
+	if memo.capacity <= 0 {
+		return
+	}
+	if memo.entries == nil {
+		memo.entries = make(map[memoKey]*list.Element)
+		memo.order = list.New()
+	}
+	if el, ok := memo.entries[key]; ok {
+		el.Value.(*memoPair).entry = entry
+		memo.order.MoveToFront(el)
+		return
+	}
+	memo.entries[key] = memo.order.PushFront(&memoPair{key: key, entry: entry})
+	for memo.order.Len() > memo.capacity {
+		oldest := memo.order.Back()
+		memo.order.Remove(oldest)
+		delete(memo.entries, oldest.Value.(*memoPair).key)
+	}
+}

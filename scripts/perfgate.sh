@@ -1,0 +1,16 @@
+#!/bin/sh
+# Perf regression gate: re-measure the core benchmark pairs quickly and
+# compare their optimized/baseline ratios against the committed
+# BENCH_core.json record. The ratios are dimensionless, so a record
+# measured on one machine constrains runs on any other; a pair whose
+# ratio worsens by more than the corebench default tolerance (10%) —
+# or a market.slot_ecdf speedup below the 2x acceptance bar — fails
+# the build. Refresh the record with `make bench-core` after an
+# intentional performance change.
+set -e
+cd "$(dirname "$0")/.."
+if [ ! -f BENCH_core.json ]; then
+    echo "perfgate: BENCH_core.json missing; run 'make bench-core' and commit it" >&2
+    exit 1
+fi
+exec "${GO:-go}" run ./cmd/corebench -quick -gate BENCH_core.json
