@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core perfgate trace-demo
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core perfgate resilcheck trace-demo
 
 all: check
 
@@ -28,7 +28,8 @@ race-obs:
 	$(GO) test -race ./internal/obs/ ./internal/obs/event/ ./internal/retry/ \
 		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
 		./internal/market/ ./internal/fleet/ ./internal/trace/ \
-		./internal/dist/ ./internal/experiments/
+		./internal/dist/ ./internal/experiments/ ./internal/chaos/ \
+		./internal/invariant/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
@@ -40,12 +41,21 @@ shuffle:
 no-wallclock:
 	sh scripts/no_wallclock.sh
 
-check: vet no-wallclock race-obs race shuffle perfgate
+check: vet no-wallclock race-obs race shuffle perfgate resilcheck
 
-# Short fuzz pass over both history-parser targets.
+# Short fuzz pass over both history-parser targets and the
+# fault-schedule shrinker.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/invariant/
+
+# Resilience smoke campaign (deterministic seed): the full default
+# fault-schedule grid plus random schedules under all five invariant
+# checkers, replay on; exits non-zero on any violation. Part of
+# `make check`.
+resilcheck:
+	$(GO) run ./cmd/resilcheck
 
 bench:
 	$(GO) test -bench=. -benchmem .

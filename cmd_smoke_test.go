@@ -152,3 +152,34 @@ func TestExperimentsCLI(t *testing.T) {
 		}
 	}
 }
+
+func TestResilcheckCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "resilcheck")
+
+	// A trimmed campaign: grid only, no replay, JSON report on stdout
+	// and the human summary on stderr. Exit 0 means every invariant
+	// held.
+	cmd := exec.Command(bin, "-random", "0", "-replay=false", "-out", "-")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resilcheck: %v\nstderr:\n%s", err, stderr.String())
+	}
+	for _, want := range []string{`"checkers"`, `"billing-conservation"`, `"replay-determinism"`,
+		`"violating": 0`, `"errors": 0`} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "resilcheck:") ||
+		!strings.Contains(stderr.String(), "0 violating") {
+		t.Errorf("summary line missing from stderr:\n%s", stderr.String())
+	}
+	// Wall-clock time must never leak into the deterministic report.
+	if strings.Contains(stdout.String(), "elapsed") {
+		t.Errorf("JSON report carries wall-clock data:\n%s", stdout.String())
+	}
+}

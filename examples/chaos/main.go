@@ -48,8 +48,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		inj := spotbid.NewChaos(spotbid.UniformChaos(*rate, *seed))
-		inj.Arm(region, c.Volume)
+		inj, err := spotbid.NewChaos(spotbid.UniformChaos(*rate, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inj.Arm(region, c.Volume); err != nil {
+			log.Fatal(err)
+		}
 		if err := c.Skip(historySlots); err != nil {
 			log.Fatal(err)
 		}

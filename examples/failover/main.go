@@ -46,13 +46,18 @@ func main() {
 		}
 		if i == 0 && *rate > 0 {
 			// The home region goes down shortly after the job launches.
-			inj := spotbid.NewChaos(spotbid.ChaosConfig{
+			inj, err := spotbid.NewChaos(spotbid.ChaosConfig{
 				Seed:              *seed*31 + 1,
 				RegionOutageRate:  *rate,
 				RegionOutageAfter: historySlots + 10,
 				RegionOutageSlots: 288,
 			})
-			inj.Arm(region, c.Volume)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := inj.Arm(region, c.Volume); err != nil {
+				log.Fatal(err)
+			}
 		}
 		members[i] = spotbid.FleetMember{ID: fmt.Sprintf("region-%d", i), Region: region, Client: c}
 	}

@@ -106,6 +106,65 @@ func Uniform(rate float64, seed int64) Config {
 	}
 }
 
+// ConfigError reports one invalid configuration field. It is the
+// typed error returned by Config.Validate, Schedule.Validate, and the
+// constructors that call them.
+type ConfigError struct {
+	// Field names the offending field.
+	Field string
+	// Value is the rejected value (durations reported as float64).
+	Value float64
+	// Reason says what constraint it violates.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("chaos: invalid %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks every rate is a probability in [0, 1] and every
+// duration is non-negative, returning a typed *ConfigError naming the
+// first offender. Out-of-range rates used to be documented but
+// silently accepted; New and cloud.Region.SetInjector now reject them.
+func (c Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"APIFaultRate", c.APIFaultRate},
+		{"DropRate", c.DropRate},
+		{"DupRate", c.DupRate},
+		{"CorruptRate", c.CorruptRate},
+		{"StaleProb", c.StaleProb},
+		{"OutageRate", c.OutageRate},
+		{"RegionOutageRate", c.RegionOutageRate},
+		{"OutbidDelayProb", c.OutbidDelayProb},
+		{"CheckpointFailRate", c.CheckpointFailRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return &ConfigError{Field: r.name, Value: r.v, Reason: "rate outside [0, 1]"}
+		}
+	}
+	durations := []struct {
+		name string
+		v    int
+	}{
+		{"APIBurst", c.APIBurst},
+		{"StaleSlots", c.StaleSlots},
+		{"OutageSlots", c.OutageSlots},
+		{"RegionOutageSlots", c.RegionOutageSlots},
+		{"RegionOutageAfter", c.RegionOutageAfter},
+		{"OutbidDelaySlots", c.OutbidDelaySlots},
+	}
+	for _, d := range durations {
+		if d.v < 0 {
+			return &ConfigError{Field: d.name, Value: float64(d.v), Reason: "negative duration"}
+		}
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -176,8 +235,12 @@ type Injector struct {
 	stats Stats
 }
 
-// New returns an injector for the config.
-func New(cfg Config) *Injector {
+// New returns an injector for the config, rejecting invalid configs
+// with a typed *ConfigError.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	return &Injector{
 		cfg:         cfg,
@@ -185,11 +248,15 @@ func New(cfg Config) *Injector {
 		burst:       make(map[cloud.Op]int),
 		outageNext:  make(map[instances.Type]int),
 		outageUntil: make(map[instances.Type]int),
-	}
+	}, nil
 }
 
 // Config returns the injector's (defaulted) configuration.
 func (in *Injector) Config() Config { return in.cfg }
+
+// Validate implements the optional injector-validation interface
+// consulted by cloud.Region.SetInjector.
+func (in *Injector) Validate() error { return in.cfg.Validate() }
 
 // Stats returns a snapshot of the faults delivered so far.
 func (in *Injector) Stats() Stats {
@@ -354,11 +421,14 @@ func (in *Injector) CheckpointFault(jobID string, slot int) error {
 
 // Arm installs the injector on a region and, when vol is non-nil, its
 // checkpoint volume — one call wires the whole fault surface.
-func (in *Injector) Arm(r *cloud.Region, vol *checkpoint.Volume) {
-	r.SetInjector(in)
+func (in *Injector) Arm(r *cloud.Region, vol *checkpoint.Volume) error {
+	if err := r.SetInjector(in); err != nil {
+		return err
+	}
 	if vol != nil {
 		vol.SetWriteFault(in.CheckpointFault)
 	}
+	return nil
 }
 
 // corruptPrice returns a wrong but valid (finite, non-negative) price:

@@ -14,6 +14,16 @@ import (
 	"repro/internal/trace"
 )
 
+// mustNew builds an injector for a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
 func flatRegion(t *testing.T, prices []float64) *cloud.Region {
 	t.Helper()
 	tr, err := trace.New(instances.R3XLarge, timeslot.NewGrid(timeslot.DefaultSlot), prices)
@@ -61,11 +71,11 @@ func persistentRun(t *testing.T, inj *Injector) client.Report {
 // fault-free run bit for bit.
 func TestZeroRateBitIdentical(t *testing.T) {
 	base := persistentRun(t, nil)
-	wrapped := persistentRun(t, New(Config{Seed: 99}))
+	wrapped := persistentRun(t, mustNew(t, Config{Seed: 99}))
 	if !reflect.DeepEqual(base, wrapped) {
 		t.Errorf("zero-rate chaos diverged:\nfault-free: %+v\nwrapped:    %+v", base, wrapped)
 	}
-	zeroUniform := persistentRun(t, New(Uniform(0, 3)))
+	zeroUniform := persistentRun(t, mustNew(t, Uniform(0, 3)))
 	if !reflect.DeepEqual(base, zeroUniform) {
 		t.Errorf("Uniform(0) chaos diverged:\nfault-free: %+v\nwrapped:    %+v", base, zeroUniform)
 	}
@@ -74,9 +84,9 @@ func TestZeroRateBitIdentical(t *testing.T) {
 // TestDeterministicPerSeed: identical seeds give identical runs and
 // identical fault logs.
 func TestDeterministicPerSeed(t *testing.T) {
-	inj1 := New(Uniform(0.08, 42))
+	inj1 := mustNew(t, Uniform(0.08, 42))
 	rep1 := persistentRun(t, inj1)
-	inj2 := New(Uniform(0.08, 42))
+	inj2 := mustNew(t, Uniform(0.08, 42))
 	rep2 := persistentRun(t, inj2)
 	if !reflect.DeepEqual(rep1, rep2) {
 		t.Errorf("same seed diverged:\n%+v\n%+v", rep1, rep2)
@@ -90,7 +100,7 @@ func TestDeterministicPerSeed(t *testing.T) {
 }
 
 func TestAPIFaultAndBurst(t *testing.T) {
-	in := New(Config{APIFaultRate: 1, APIBurst: 3})
+	in := mustNew(t, Config{APIFaultRate: 1, APIBurst: 3})
 	for i := 0; i < 3; i++ {
 		err := in.APIFault(cloud.OpSubmit, i)
 		if err == nil {
@@ -104,7 +114,7 @@ func TestAPIFaultAndBurst(t *testing.T) {
 		t.Errorf("APIFaults = %d, want 3", got)
 	}
 	// Zero rate: never a fault, no RNG consumed.
-	quiet := New(Config{})
+	quiet := mustNew(t, Config{})
 	for i := 0; i < 100; i++ {
 		if err := quiet.APIFault(cloud.OpCancel, i); err != nil {
 			t.Fatalf("zero-rate injector faulted: %v", err)
@@ -119,7 +129,7 @@ func TestDegradeHistoryNeverMutatesSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	orig := append([]float64(nil), tr.Prices...)
-	in := New(Config{DropRate: 0.9, DupRate: 0.9, CorruptRate: 0.9, StaleProb: 1, StaleSlots: 2})
+	in := mustNew(t, Config{DropRate: 0.9, DupRate: 0.9, CorruptRate: 0.9, StaleProb: 1, StaleSlots: 2})
 	out := in.DegradeHistory(tr, 7)
 	if !reflect.DeepEqual(tr.Prices, orig) {
 		t.Fatal("DegradeHistory mutated the source trace")
@@ -142,7 +152,7 @@ func TestDegradeHistoryNeverMutatesSource(t *testing.T) {
 }
 
 func TestLaunchBlockedDrawsOncePerSlot(t *testing.T) {
-	in := New(Config{OutageRate: 0.5, OutageSlots: 3, Seed: 5})
+	in := mustNew(t, Config{OutageRate: 0.5, OutageSlots: 3, Seed: 5})
 	// Ask many times about the same slot: the answer must be stable
 	// and the outage schedule must not advance.
 	first := in.LaunchBlocked(instances.R3XLarge, 10)
@@ -193,7 +203,7 @@ func TestOutbidDelayKeepsBilling(t *testing.T) {
 	}
 
 	base, baseReq := run(nil)
-	delayed, delReq := run(New(Config{OutbidDelayProb: 1, OutbidDelaySlots: 2}))
+	delayed, delReq := run(mustNew(t, Config{OutbidDelayProb: 1, OutbidDelaySlots: 2}))
 
 	baseInst, err := base.Instance(baseReq.InstanceID)
 	if err != nil {
@@ -229,7 +239,7 @@ func TestCapacityOutageDefersLaunch(t *testing.T) {
 	// slot — but the schedule only re-arms after OutageSlots pass, so
 	// slots 1..3 are blocked and slot 4 re-blocks. Use a two-slot
 	// outage and check the request stays Open while blocked.
-	in := New(Config{OutageRate: 1, OutageSlots: 2})
+	in := mustNew(t, Config{OutageRate: 1, OutageSlots: 2})
 	r.SetInjector(in)
 	reqs, err := r.RequestSpotInstances(instances.R3XLarge, 0.05, cloud.Persistent, 1)
 	if err != nil {
@@ -247,7 +257,7 @@ func TestCapacityOutageDefersLaunch(t *testing.T) {
 }
 
 func TestCheckpointFaultTyped(t *testing.T) {
-	in := New(Config{CheckpointFailRate: 1})
+	in := mustNew(t, Config{CheckpointFailRate: 1})
 	err := in.CheckpointFault("job", 3)
 	if err == nil {
 		t.Fatal("rate-1 checkpoint fault did not fire")

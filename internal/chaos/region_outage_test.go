@@ -12,7 +12,7 @@ import (
 // API op fails transiently AND every market refuses launches — the
 // correlated incident signature, unlike the per-market OutageRate.
 func TestRegionOutageCorrelatesFaults(t *testing.T) {
-	in := New(Config{RegionOutageRate: 1, RegionOutageSlots: 4})
+	in := mustNew(t, Config{RegionOutageRate: 1, RegionOutageSlots: 4})
 	for _, op := range []cloud.Op{cloud.OpPriceHistory, cloud.OpSubmit, cloud.OpCancel, cloud.OpTerminate} {
 		err := in.APIFault(op, 0)
 		if err == nil {
@@ -34,7 +34,7 @@ func TestRegionOutageCorrelatesFaults(t *testing.T) {
 // doesn't depend on API call multiplicity.
 func TestRegionOutageDrawsOncePerSlot(t *testing.T) {
 	run := func(callsPerSlot int) int {
-		in := New(Config{Seed: 5, RegionOutageRate: 0.3, RegionOutageSlots: 2})
+		in := mustNew(t, Config{Seed: 5, RegionOutageRate: 0.3, RegionOutageSlots: 2})
 		for slot := 0; slot < 200; slot++ {
 			for c := 0; c < callsPerSlot; c++ {
 				in.APIFault(cloud.OpSubmit, slot)
@@ -57,7 +57,7 @@ func TestRegionOutageDrawsOncePerSlot(t *testing.T) {
 // episode begins — the deterministic failure window the fleet's forced
 // failover drills use.
 func TestRegionOutageWindow(t *testing.T) {
-	in := New(Config{RegionOutageRate: 1, RegionOutageAfter: 10, RegionOutageSlots: 5})
+	in := mustNew(t, Config{RegionOutageRate: 1, RegionOutageAfter: 10, RegionOutageSlots: 5})
 	for slot := 0; slot < 10; slot++ {
 		if err := in.APIFault(cloud.OpSubmit, slot); err != nil {
 			t.Fatalf("slot %d before the window faulted: %v", slot, err)
@@ -80,8 +80,8 @@ func TestRegionOutageWindow(t *testing.T) {
 // region-outage knob at zero leaves the RNG stream untouched, so
 // adding the field keeps zero-rate runs bit-identical.
 func TestRegionOutageZeroRateConsumesNoRNG(t *testing.T) {
-	a := New(Config{Seed: 9, APIFaultRate: 0.5})
-	b := New(Config{Seed: 9, APIFaultRate: 0.5, RegionOutageSlots: 7, RegionOutageAfter: 3})
+	a := mustNew(t, Config{Seed: 9, APIFaultRate: 0.5})
+	b := mustNew(t, Config{Seed: 9, APIFaultRate: 0.5, RegionOutageSlots: 7, RegionOutageAfter: 3})
 	var faultsA, faultsB int
 	for slot := 0; slot < 500; slot++ {
 		// b consults the region-outage path first on both hooks; at zero

@@ -1,0 +1,352 @@
+package chaos
+
+// Explicit fault schedules. The rate-driven Injector samples a fault
+// *process*; a Schedule pins a fault *incident list*: exactly these
+// faults, at exactly these slots, for exactly these durations. The
+// resilience-verification subsystem (internal/invariant) enumerates
+// and shrinks schedules, so a ScheduleInjector consumes no randomness
+// at all — two runs of the same schedule are bit-identical, and a
+// shrunk schedule prints as a copy-pasteable Go literal that replays
+// the violation anywhere.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+// FaultKind is the vocabulary of schedulable fault episodes. Each kind
+// mirrors one of the rate knobs of Config, pinned to a slot window.
+type FaultKind int
+
+const (
+	// FaultAPI: every region API call (price history, submit, cancel,
+	// terminate) fails transiently during the window.
+	FaultAPI FaultKind = iota
+	// FaultRegionOutage: the correlated incident — every API call
+	// fails AND every spot market refuses launches during the window.
+	FaultRegionOutage
+	// FaultCapacityOutage: spot markets refuse launches during the
+	// window (APIs stay up) — capacity gone, control plane fine.
+	FaultCapacityOutage
+	// FaultStaleHistory: price-history fetches during the window are
+	// served with their newest StaleLagSlots slots missing.
+	FaultStaleHistory
+	// FaultOutbidDelay: out-bid notices arising during the window are
+	// deferred by OutbidDelayLag slots — the instance keeps running,
+	// and billing, until the notice lands.
+	FaultOutbidDelay
+	// FaultCheckpointFail: checkpoint writes during the window fail,
+	// losing progress since the last durable record.
+	FaultCheckpointFail
+
+	numFaultKinds
+)
+
+var faultKindNames = [numFaultKinds]string{
+	FaultAPI:            "api-fault",
+	FaultRegionOutage:   "region-outage",
+	FaultCapacityOutage: "capacity-outage",
+	FaultStaleHistory:   "stale-history",
+	FaultOutbidDelay:    "outbid-delay",
+	FaultCheckpointFail: "checkpoint-fail",
+}
+
+var faultKindGoNames = [numFaultKinds]string{
+	FaultAPI:            "FaultAPI",
+	FaultRegionOutage:   "FaultRegionOutage",
+	FaultCapacityOutage: "FaultCapacityOutage",
+	FaultStaleHistory:   "FaultStaleHistory",
+	FaultOutbidDelay:    "FaultOutbidDelay",
+	FaultCheckpointFail: "FaultCheckpointFail",
+}
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	if k >= 0 && int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// GoName returns the kind's Go identifier, for reproducer literals.
+func (k FaultKind) GoName() string {
+	if k >= 0 && int(k) < len(faultKindGoNames) {
+		return "chaos." + faultKindGoNames[k]
+	}
+	return fmt.Sprintf("chaos.FaultKind(%d)", int(k))
+}
+
+// Scheduled-fault tuning shared by every ScheduleInjector. Fixed
+// rather than per-fault so a FaultAt stays the four-field tuple the
+// explorer enumerates and shrinks over.
+const (
+	// StaleLagSlots is how many newest slots a FaultStaleHistory fetch
+	// is missing (36 slots = 3 hours, matching Config's default).
+	StaleLagSlots = 36
+	// OutbidDelayLag is how many slots a FaultOutbidDelay notice is
+	// deferred.
+	OutbidDelayLag = 2
+)
+
+// FaultAt schedules one fault episode: Kind is active for the slot
+// window [Slot, Slot+Slots). Target optionally names the fleet member
+// the episode is aimed at ("" targets the scenario's home region);
+// the injector itself is region-agnostic — whoever arms it on a
+// region decides which faults it carries.
+type FaultAt struct {
+	// Slot is the first slot of the episode.
+	Slot int
+	// Kind is the fault type.
+	Kind FaultKind
+	// Target optionally names the targeted fleet member ("" = home).
+	Target string
+	// Slots is the episode length (default 1).
+	Slots int
+}
+
+// window reports the defaulted [start, end) slot window.
+func (f FaultAt) window() (int, int) {
+	n := f.Slots
+	if n <= 0 {
+		n = 1
+	}
+	return f.Slot, f.Slot + n
+}
+
+// covers reports whether the episode is active at slot.
+func (f FaultAt) covers(slot int) bool {
+	lo, hi := f.window()
+	return slot >= lo && slot < hi
+}
+
+// Validate reports whether the fault is well formed.
+func (f FaultAt) Validate() error {
+	if f.Slot < 0 {
+		return &ConfigError{Field: "FaultAt.Slot", Value: float64(f.Slot), Reason: "negative slot"}
+	}
+	if f.Slots < 0 {
+		return &ConfigError{Field: "FaultAt.Slots", Value: float64(f.Slots), Reason: "negative duration"}
+	}
+	if f.Kind < 0 || f.Kind >= numFaultKinds {
+		return &ConfigError{Field: "FaultAt.Kind", Value: float64(f.Kind), Reason: "unknown fault kind"}
+	}
+	return nil
+}
+
+// Schedule is an explicit fault incident list.
+type Schedule []FaultAt
+
+// Validate reports whether every fault is well formed.
+func (s Schedule) Validate() error {
+	for i, f := range s {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("schedule fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Horizon reports the first slot past every episode (0 for an empty
+// schedule) — the minimum trace length that exercises the whole
+// schedule.
+func (s Schedule) Horizon() int {
+	h := 0
+	for _, f := range s {
+		if _, end := f.window(); end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// Clone returns an independent copy.
+func (s Schedule) Clone() Schedule {
+	if s == nil {
+		return nil
+	}
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// GoString renders the schedule as a copy-pasteable Go literal — the
+// form a shrunk minimal reproducer is reported in.
+func (s Schedule) GoString() string {
+	if len(s) == 0 {
+		return "chaos.Schedule{}"
+	}
+	var b strings.Builder
+	b.WriteString("chaos.Schedule{\n")
+	for _, f := range s {
+		fmt.Fprintf(&b, "\t{Slot: %d, Kind: %s", f.Slot, f.Kind.GoName())
+		if f.Target != "" {
+			fmt.Fprintf(&b, ", Target: %q", f.Target)
+		}
+		if f.Slots > 1 {
+			fmt.Fprintf(&b, ", Slots: %d", f.Slots)
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ScheduleInjector implements cloud.FaultInjector (plus the checkpoint
+// write hook) from an explicit fault list. It draws no randomness:
+// the same schedule delivers the same faults on every run, which is
+// what lets the invariant explorer shrink a failing schedule to a
+// minimal reproducer. Safe for concurrent use like Injector, with the
+// same caveat: drive the region from one goroutine.
+type ScheduleInjector struct {
+	mu     sync.Mutex
+	faults Schedule
+	// started tracks which episode indexes have been observed active,
+	// so Stats counts episodes (not per-call consultations).
+	started map[int]bool
+	stats   Stats
+}
+
+// NewSchedule builds an injector delivering exactly the given faults.
+// The schedule is validated (typed *ConfigError) and copied.
+func NewSchedule(faults Schedule) (*ScheduleInjector, error) {
+	if err := faults.Validate(); err != nil {
+		return nil, err
+	}
+	return &ScheduleInjector{faults: faults.Clone(), started: make(map[int]bool)}, nil
+}
+
+// Schedule returns a copy of the injector's fault list.
+func (in *ScheduleInjector) Schedule() Schedule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults.Clone()
+}
+
+// Validate implements the optional injector-validation interface
+// consulted by cloud.Region.SetInjector.
+func (in *ScheduleInjector) Validate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults.Validate()
+}
+
+// Stats returns a snapshot of the faults delivered so far. Episode
+// counters (Outages, RegionOutages) count scheduled episodes that were
+// actually consulted, not individual blocked calls.
+func (in *ScheduleInjector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// activeLocked reports whether any episode of the kind covers slot,
+// counting first observations of an episode via count. Callers hold mu.
+func (in *ScheduleInjector) activeLocked(kind FaultKind, slot int, count func(*Stats)) bool {
+	hit := false
+	for i, f := range in.faults {
+		if f.Kind != kind || !f.covers(slot) {
+			continue
+		}
+		hit = true
+		if count != nil && !in.started[i] {
+			in.started[i] = true
+			count(&in.stats)
+		}
+	}
+	return hit
+}
+
+// APIFault implements cloud.FaultInjector: calls fail transiently
+// while a FaultAPI or FaultRegionOutage episode is active.
+func (in *ScheduleInjector) APIFault(op cloud.Op, slot int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.activeLocked(FaultRegionOutage, slot, func(s *Stats) { s.RegionOutages++ }) {
+		in.stats.APIFaults++
+		return transientf("chaos: scheduled region outage fails %s at slot %d", op, slot)
+	}
+	if in.activeLocked(FaultAPI, slot, nil) {
+		in.stats.APIFaults++
+		return transientf("chaos: scheduled %s failure at slot %d", op, slot)
+	}
+	return nil
+}
+
+// DegradeHistory implements cloud.FaultInjector: fetches during a
+// FaultStaleHistory episode are served with the newest StaleLagSlots
+// slots missing. The input trace is never mutated.
+func (in *ScheduleInjector) DegradeHistory(tr *trace.Trace, slot int) *trace.Trace {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.activeLocked(FaultStaleHistory, slot, nil) {
+		return tr
+	}
+	if tr.Len() <= StaleLagSlots+1 {
+		return tr
+	}
+	w, err := tr.Window(0, tr.Len()-StaleLagSlots)
+	if err != nil {
+		return tr
+	}
+	in.stats.StaleServes++
+	return w
+}
+
+// LaunchBlocked implements cloud.FaultInjector: spot launches are
+// refused while a FaultCapacityOutage or FaultRegionOutage episode is
+// active (for every instance type — scheduled outages model the
+// market, not one product).
+func (in *ScheduleInjector) LaunchBlocked(t instances.Type, slot int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	blocked := in.activeLocked(FaultRegionOutage, slot, func(s *Stats) { s.RegionOutages++ })
+	if in.activeLocked(FaultCapacityOutage, slot, func(s *Stats) { s.Outages++ }) {
+		blocked = true
+	}
+	return blocked
+}
+
+// OutbidDelay implements cloud.FaultInjector: notices arising during a
+// FaultOutbidDelay episode land OutbidDelayLag slots late.
+func (in *ScheduleInjector) OutbidDelay(slot int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.activeLocked(FaultOutbidDelay, slot, nil) {
+		return 0
+	}
+	in.stats.DelayedOutbids++
+	return OutbidDelayLag
+}
+
+// CheckpointFault is the checkpoint.Volume write hook: writes during a
+// FaultCheckpointFail episode fail with checkpoint.ErrWriteFailed.
+func (in *ScheduleInjector) CheckpointFault(jobID string, slot int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.activeLocked(FaultCheckpointFail, slot, nil) {
+		return nil
+	}
+	in.stats.CheckpointFailures++
+	return retry.Transient(fmt.Errorf("%w: chaos: scheduled write failure for %s at slot %d",
+		checkpoint.ErrWriteFailed, jobID, slot))
+}
+
+// Arm installs the injector on a region and, when vol is non-nil, its
+// checkpoint volume — the ScheduleInjector counterpart of
+// Injector.Arm.
+func (in *ScheduleInjector) Arm(r *cloud.Region, vol *checkpoint.Volume) error {
+	if err := r.SetInjector(in); err != nil {
+		return err
+	}
+	if vol != nil {
+		vol.SetWriteFault(in.CheckpointFault)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/retry"
+)
+
+// TestConfigValidateTyped: every rate outside [0,1] and every
+// negative duration is rejected with a typed *ConfigError naming the
+// field — from New, Uniform configs, and the SetInjector path alike.
+func TestConfigValidateTyped(t *testing.T) {
+	invalid := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{APIFaultRate: -0.1}, "APIFaultRate"},
+		{Config{APIFaultRate: 1.1}, "APIFaultRate"},
+		{Config{DropRate: 2}, "DropRate"},
+		{Config{DupRate: -1}, "DupRate"},
+		{Config{CorruptRate: 1.5}, "CorruptRate"},
+		{Config{StaleProb: -0.5}, "StaleProb"},
+		{Config{OutageRate: 7}, "OutageRate"},
+		{Config{RegionOutageRate: -2}, "RegionOutageRate"},
+		{Config{OutbidDelayProb: 1.01}, "OutbidDelayProb"},
+		{Config{CheckpointFailRate: -0.01}, "CheckpointFailRate"},
+		{Config{APIBurst: -1}, "APIBurst"},
+		{Config{StaleSlots: -1}, "StaleSlots"},
+		{Config{OutageSlots: -5}, "OutageSlots"},
+		{Config{RegionOutageSlots: -1}, "RegionOutageSlots"},
+		{Config{RegionOutageAfter: -3}, "RegionOutageAfter"},
+		{Config{OutbidDelaySlots: -2}, "OutbidDelaySlots"},
+	}
+	for _, tc := range invalid {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted, want %s rejection", tc.cfg, tc.field)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("config %+v: error %T, want *ConfigError", tc.cfg, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("config %+v rejected on %s, want %s", tc.cfg, ce.Field, tc.field)
+		}
+		if _, nerr := New(tc.cfg); nerr == nil {
+			t.Errorf("New accepted invalid config %+v", tc.cfg)
+		}
+	}
+	// Boundary values are fine.
+	for _, cfg := range []Config{{}, Uniform(0, 1), Uniform(1, 1), {APIFaultRate: 1, OutageRate: 0}} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("valid config %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+// TestSetInjectorRejectsInvalid: a region refuses to arm an injector
+// whose configuration fails validation.
+func TestSetInjectorRejectsInvalid(t *testing.T) {
+	r := flatRegion(t, []float64{0.03, 0.03})
+	bad := &Injector{cfg: Config{APIFaultRate: 2}}
+	err := r.SetInjector(bad)
+	if err == nil {
+		t.Fatal("region armed an invalid injector")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "APIFaultRate" {
+		t.Errorf("rejection error %v, want wrapped *ConfigError on APIFaultRate", err)
+	}
+	if r.Injector() != nil {
+		t.Error("invalid injector left installed")
+	}
+}
+
+// TestScheduleValidateTyped: malformed fault entries are rejected
+// with positioned, typed errors.
+func TestScheduleValidateTyped(t *testing.T) {
+	cases := []struct {
+		s     Schedule
+		field string
+	}{
+		{Schedule{{Slot: -1, Kind: FaultAPI}}, "FaultAt.Slot"},
+		{Schedule{{Slot: 0, Kind: FaultAPI, Slots: -2}}, "FaultAt.Slots"},
+		{Schedule{{Slot: 0, Kind: FaultKind(99)}}, "FaultAt.Kind"},
+		{Schedule{{Slot: 0, Kind: FaultKind(-1)}}, "FaultAt.Kind"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		var ce *ConfigError
+		if err == nil || !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Errorf("schedule %v: error %v, want *ConfigError on %s", tc.s, err, tc.field)
+		}
+		if _, nerr := NewSchedule(tc.s); nerr == nil {
+			t.Errorf("NewSchedule accepted %v", tc.s)
+		}
+	}
+	if err := (Schedule{{Slot: 0, Kind: FaultAPI}, {Slot: 5, Kind: FaultCheckpointFail, Slots: 3}}).Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func mustNewSchedule(t *testing.T, s Schedule) *ScheduleInjector {
+	t.Helper()
+	in, err := NewSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestScheduleWindows: each hook fires exactly inside its episode's
+// [Slot, Slot+Slots) window and never outside it.
+func TestScheduleWindows(t *testing.T) {
+	in := mustNewSchedule(t, Schedule{
+		{Slot: 10, Kind: FaultAPI, Slots: 3},
+		{Slot: 20, Kind: FaultCapacityOutage}, // Slots 0 defaults to 1
+		{Slot: 30, Kind: FaultOutbidDelay, Slots: 2},
+		{Slot: 40, Kind: FaultCheckpointFail, Slots: 2},
+	})
+	for slot := 0; slot < 50; slot++ {
+		apiErr := in.APIFault(cloud.OpSubmit, slot)
+		if want := slot >= 10 && slot < 13; (apiErr != nil) != want {
+			t.Errorf("slot %d: APIFault err=%v, want active=%v", slot, apiErr, want)
+		}
+		if apiErr != nil && !retry.IsTransient(apiErr) {
+			t.Errorf("slot %d: API fault not transient", slot)
+		}
+		if got, want := in.LaunchBlocked(instances.R3XLarge, slot), slot == 20; got != want {
+			t.Errorf("slot %d: LaunchBlocked=%v, want %v", slot, got, want)
+		}
+		delay := in.OutbidDelay(slot)
+		if want := slot >= 30 && slot < 32; (delay == OutbidDelayLag) != want || (delay != 0 && delay != OutbidDelayLag) {
+			t.Errorf("slot %d: OutbidDelay=%d", slot, delay)
+		}
+		ckErr := in.CheckpointFault("j", slot)
+		if want := slot >= 40 && slot < 42; (ckErr != nil) != want {
+			t.Errorf("slot %d: CheckpointFault err=%v, want active=%v", slot, ckErr, want)
+		}
+		if ckErr != nil && !errors.Is(ckErr, checkpoint.ErrWriteFailed) {
+			t.Errorf("slot %d: checkpoint fault lost ErrWriteFailed: %v", slot, ckErr)
+		}
+	}
+}
+
+// TestScheduleRegionOutageCorrelated: a region-outage episode fails
+// APIs and blocks launches at once, and the episode is counted once.
+func TestScheduleRegionOutageCorrelated(t *testing.T) {
+	in := mustNewSchedule(t, Schedule{{Slot: 5, Kind: FaultRegionOutage, Slots: 4}})
+	for slot := 5; slot < 9; slot++ {
+		if in.APIFault(cloud.OpCancel, slot) == nil {
+			t.Errorf("slot %d: API up during region outage", slot)
+		}
+		if !in.LaunchBlocked(instances.R3XLarge, slot) {
+			t.Errorf("slot %d: launches allowed during region outage", slot)
+		}
+	}
+	st := in.Stats()
+	if st.RegionOutages != 1 {
+		t.Errorf("RegionOutages = %d, want 1 episode", st.RegionOutages)
+	}
+	if st.APIFaults != 4 {
+		t.Errorf("APIFaults = %d, want 4 failed calls", st.APIFaults)
+	}
+}
+
+// TestScheduleDeterministicNoRNG: two injectors with the same
+// schedule deliver identical faults and identical stats — there is no
+// randomness to diverge.
+func TestScheduleDeterministicNoRNG(t *testing.T) {
+	s := Schedule{
+		{Slot: 3, Kind: FaultAPI, Slots: 2},
+		{Slot: 7, Kind: FaultStaleHistory, Slots: 5},
+	}
+	a, b := mustNewSchedule(t, s), mustNewSchedule(t, s)
+	for slot := 0; slot < 15; slot++ {
+		ea, eb := a.APIFault(cloud.OpPriceHistory, slot), b.APIFault(cloud.OpPriceHistory, slot)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("slot %d: injectors diverged", slot)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestScheduleGoStringRoundTrip: the reproducer literal carries every
+// non-default field and round-trips through Clone/equality.
+func TestScheduleGoStringRoundTrip(t *testing.T) {
+	s := Schedule{
+		{Slot: 576, Kind: FaultRegionOutage, Slots: 24},
+		{Slot: 580, Kind: FaultAPI, Target: "region-1"},
+	}
+	g := s.GoString()
+	for _, want := range []string{"chaos.Schedule{", "chaos.FaultRegionOutage", "Slots: 24",
+		`Target: "region-1"`, "Slot: 576", "Slot: 580"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("GoString missing %q:\n%s", want, g)
+		}
+	}
+	if strings.Contains(g, "Slots: 1") || strings.Contains(g, "Slots: 0") {
+		t.Errorf("GoString renders defaulted durations:\n%s", g)
+	}
+	c := s.Clone()
+	c[0].Slot = 1
+	if s[0].Slot != 576 {
+		t.Error("Clone aliases the original")
+	}
+	if (Schedule{}).GoString() != "chaos.Schedule{}" {
+		t.Errorf("empty schedule literal: %q", (Schedule{}).GoString())
+	}
+	if got := s.Horizon(); got != 600 {
+		t.Errorf("Horizon = %d, want 600", got)
+	}
+}

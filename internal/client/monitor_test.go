@@ -94,7 +94,11 @@ func TestMonitorCatchUpPaths(t *testing.T) {
 func TestMonitorBypassedUnderInjector(t *testing.T) {
 	fast := newClient(t, 21)
 	legacy := newClient(t, 21)
-	legacy.Region.SetInjector(chaos.New(chaos.Config{}))
+	zeroRate, err := chaos.New(chaos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Region.SetInjector(zeroRate)
 
 	repFast, err := fast.RunPersistent(oneHour)
 	if err != nil {

@@ -200,6 +200,7 @@ type Region struct {
 	requests map[string]*SpotRequest
 	insts    map[string]*Instance
 	order    []string // request IDs in submission order, for determinism
+	instOrd  []string // instance IDs in creation order, for determinism
 	events   []Event
 	nextReq  int
 	nextInst int
@@ -333,13 +334,53 @@ func (r *Region) Instance(id string) (*Instance, error) {
 	return inst, nil
 }
 
-// TotalCost sums the charges of every instance ever billed.
+// TotalCost sums the charges of every instance ever billed. The sum
+// runs in instance-creation order so the float accumulation — and
+// therefore a replayed run's cost — is bit-identical across runs.
 func (r *Region) TotalCost() float64 {
 	var sum float64
-	for _, inst := range r.insts {
-		sum += inst.Cost
+	for _, id := range r.instOrd {
+		sum += r.insts[id].Cost
 	}
 	return sum
+}
+
+// Instances returns every instance the region ever launched, in
+// creation order. The slice is fresh but the pointers are the live
+// records — callers must not modify them. The invariant checkers
+// audit billing and occupancy through this view.
+func (r *Region) Instances() []*Instance {
+	out := make([]*Instance, len(r.instOrd))
+	for i, id := range r.instOrd {
+		out[i] = r.insts[id]
+	}
+	return out
+}
+
+// Requests returns every spot request ever submitted, in submission
+// order, under the same sharing contract as Instances.
+func (r *Region) Requests() []*SpotRequest {
+	out := make([]*SpotRequest, len(r.order))
+	for i, id := range r.order {
+		out[i] = r.requests[id]
+	}
+	return out
+}
+
+// TracePrice reports the spot price the market charged at an arbitrary
+// slot, read straight from the backing trace — no injector, no API
+// fault, no degradation. Auditors use it to recompute bills after the
+// fact; clients must use SpotPrice/PriceHistory, which see the region
+// as the paper's client did.
+func (r *Region) TracePrice(t instances.Type, slot int) (float64, error) {
+	tr, ok := r.traces[t]
+	if !ok {
+		return 0, fmt.Errorf("cloud: no spot market for %s", t)
+	}
+	if slot < 0 || slot >= tr.Len() {
+		return 0, fmt.Errorf("cloud: slot %d outside trace horizon %d", slot, tr.Len())
+	}
+	return tr.At(slot), nil
 }
 
 // RequestSpotInstances submits count spot requests at the given bid
@@ -434,6 +475,7 @@ func (r *Region) LaunchOnDemand(t instances.Type) (*Instance, error) {
 		Running:        true,
 	}
 	r.insts[inst.ID] = inst
+	r.instOrd = append(r.instOrd, inst.ID)
 	if r.met != nil {
 		r.met.odLaunches.Inc()
 	}
@@ -558,6 +600,7 @@ func (r *Region) Tick() error {
 			Running:        true,
 		}
 		r.insts[inst.ID] = inst
+		r.instOrd = append(r.instOrd, inst.ID)
 		req.State = Active
 		req.InstanceID = inst.ID
 		if r.met != nil {

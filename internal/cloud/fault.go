@@ -72,8 +72,19 @@ type FaultInjector interface {
 
 // SetInjector installs (or, with nil, removes) the region's fault
 // injector. Install it before the first Tick so every slot of the
-// simulation sees the same fault process.
-func (r *Region) SetInjector(inj FaultInjector) { r.inj = inj }
+// simulation sees the same fault process. Injectors that additionally
+// implement `Validate() error` (chaos.Injector, chaos.ScheduleInjector)
+// are validated here, so a misconfigured fault process is rejected at
+// install time instead of silently skewing a run.
+func (r *Region) SetInjector(inj FaultInjector) error {
+	if v, ok := inj.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("cloud: rejecting fault injector: %w", err)
+		}
+	}
+	r.inj = inj
+	return nil
+}
 
 // Injector returns the installed fault injector (nil when fault-free).
 func (r *Region) Injector() FaultInjector { return r.inj }

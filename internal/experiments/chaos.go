@@ -65,8 +65,13 @@ func chaosRun(typ instances.Type, strategy string, rate float64, seed int64, off
 	if rec != nil {
 		cl.SetTrace(rec)
 	}
-	inj := chaos.New(chaos.Uniform(rate, seed*31+1))
-	inj.Arm(region, cl.Volume)
+	inj, err := chaos.New(chaos.Uniform(rate, seed*31+1))
+	if err != nil {
+		return client.Report{}, chaos.Stats{}, err
+	}
+	if err := inj.Arm(region, cl.Volume); err != nil {
+		return client.Report{}, chaos.Stats{}, err
+	}
 	if err := cl.Skip(historySlots + offset); err != nil {
 		return client.Report{}, chaos.Stats{}, err
 	}

@@ -79,8 +79,13 @@ func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Reg
 		}
 		cl.SetMetrics(obs.New())
 		if i == 0 && rate > 0 {
-			inj := chaos.New(chaos.Config{Seed: seed*31 + 1, RegionOutageRate: rate, RegionOutageSlots: 36})
-			inj.Arm(region, cl.Volume)
+			inj, err := chaos.New(chaos.Config{Seed: seed*31 + 1, RegionOutageRate: rate, RegionOutageSlots: 36})
+			if err != nil {
+				return fleet.Report{}, 0, err
+			}
+			if err := inj.Arm(region, cl.Volume); err != nil {
+				return fleet.Report{}, 0, err
+			}
 		}
 		members[i] = fleet.Member{ID: fmt.Sprintf("region-%d", i), Region: region, Client: cl}
 	}

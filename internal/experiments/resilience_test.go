@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/invariant"
+)
+
+// miniGrid keeps the campaign test fast: 2x1x2x1 singles + 2 pairs +
+// 2 random = 8 schedules.
+func miniGrid() invariant.Grid {
+	return invariant.Grid{
+		Offsets:   []int{0, 6},
+		Durations: []int{3},
+		Kinds:     []chaos.FaultKind{chaos.FaultAPI, chaos.FaultRegionOutage},
+		Targets:   []string{""},
+		Pairs:     2,
+		Seed:      1,
+	}
+}
+
+// TestResilienceCampaignClean: the current tree passes a miniature
+// campaign — replay included — with every schedule clean, and the
+// report's arithmetic adds up.
+func TestResilienceCampaignClean(t *testing.T) {
+	rep, err := ResilienceCampaign(ResilienceOpts{
+		Grid:   miniGrid(),
+		Random: 2,
+		Replay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*1*2*1 + 2 + 2; rep.Schedules != want {
+		t.Fatalf("campaign ran %d schedules, want %d", rep.Schedules, want)
+	}
+	if rep.Violating != 0 || rep.Errors != 0 {
+		t.Fatalf("campaign not clean: %+v", rep)
+	}
+	if rep.Clean != rep.Schedules {
+		t.Errorf("clean count %d != schedules %d", rep.Clean, rep.Schedules)
+	}
+	if !rep.Replay || len(rep.Checkers) != 5 {
+		t.Errorf("report metadata: replay=%v checkers=%v", rep.Replay, rep.Checkers)
+	}
+}
+
+// TestResilienceCampaignDeterministic: two invocations produce
+// byte-identical reports (modulo nothing — the struct is compared
+// field by field through the summary counters and result list).
+func TestResilienceCampaignDeterministic(t *testing.T) {
+	opts := ResilienceOpts{Grid: miniGrid(), Random: -1}
+	a, err := ResilienceCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResilienceCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedules != b.Schedules || a.Clean != b.Clean || a.Violating != b.Violating || a.Errors != b.Errors {
+		t.Fatalf("campaign counters diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestResilienceCampaignShrinksMutant: with a seeded defect the
+// campaign catches it on fault-delivering schedules and attaches a
+// shrunk reproducer of at most 3 faults.
+func TestResilienceCampaignShrinksMutant(t *testing.T) {
+	mutate := func(st *invariant.RunState) {
+		for _, m := range st.Members {
+			if m.Injector != nil && m.Injector.Stats().Total() > 0 {
+				st.Report.FleetCost += 1 // seeded conservation defect
+				return
+			}
+		}
+	}
+	rep, err := ResilienceCampaign(ResilienceOpts{
+		Scenario: invariant.Scenario{Mutate: mutate},
+		Grid:     miniGrid(),
+		Random:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating == 0 {
+		t.Fatal("seeded defect escaped the campaign")
+	}
+	for _, r := range rep.Results {
+		if len(r.Violations) == 0 {
+			continue
+		}
+		if r.Shrunk == "" {
+			t.Errorf("violating schedule %d has no reproducer", r.Index)
+		}
+		if r.ShrunkFaults > 3 {
+			t.Errorf("schedule %d shrank to %d faults, want <= 3", r.Index, r.ShrunkFaults)
+		}
+	}
+}

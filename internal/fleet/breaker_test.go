@@ -1,0 +1,171 @@
+package fleet
+
+import "testing"
+
+// TestBreakerTransitionTableExhaustive enumerates every (state,
+// input) pair of the breaker state machine — all 3 states against all
+// 8 input combinations — and pins the exact outcome of each: the four
+// legal edges move, the zero input holds everywhere, conflicting
+// inputs error, and every other pair errors while holding state.
+func TestBreakerTransitionTableExhaustive(t *testing.T) {
+	states := []BreakerState{Closed, Open, HalfOpen}
+	type legal struct {
+		next BreakerState
+		ok   bool
+	}
+	// want[state][input bitmask trip|quarantine<<1|probe<<2]
+	hold := func(s BreakerState) legal { return legal{s, false} }
+	want := map[BreakerState]map[int]legal{
+		Closed: {
+			0b000: {Closed, true}, // nothing happened
+			0b001: {Open, true},   // trip
+			0b010: hold(Closed),   // quarantine-elapsed: illegal
+			0b100: hold(Closed),   // probe-survived: illegal
+		},
+		Open: {
+			0b000: {Open, true},
+			0b001: hold(Open), // already open: a second trip is illegal
+			0b010: {HalfOpen, true},
+			0b100: hold(Open),
+		},
+		HalfOpen: {
+			0b000: {HalfOpen, true},
+			0b001: {Open, true},
+			0b010: hold(HalfOpen),
+			0b100: {Closed, true},
+		},
+	}
+	for _, s := range states {
+		for mask := 0; mask < 8; mask++ {
+			in := BreakerInput{
+				Trip:              mask&0b001 != 0,
+				QuarantineElapsed: mask&0b010 != 0,
+				ProbeSurvived:     mask&0b100 != 0,
+			}
+			next, err := NextBreakerState(s, in)
+			exp, single := want[s][mask]
+			if !single {
+				// More than one input flag: always a conflict error that
+				// holds state.
+				if err == nil || next != s {
+					t.Errorf("%v + %v: got (%v, %v), want conflict error holding state", s, in, next, err)
+				}
+				continue
+			}
+			if exp.ok {
+				if err != nil || next != exp.next {
+					t.Errorf("%v + %v: got (%v, %v), want (%v, nil)", s, in, next, err, exp.next)
+				}
+			} else {
+				if err == nil || next != s {
+					t.Errorf("%v + %v: got (%v, %v), want illegal-input error holding state", s, in, next, err)
+				}
+			}
+		}
+	}
+}
+
+// TestLegalTransitionMatchesStepFunction: the edge predicate the
+// invariant checker uses and the step function the controller uses
+// must describe the same diagram — every reachable (from, to) pair
+// with from != to is legal iff some single input produces it.
+func TestLegalTransitionMatchesStepFunction(t *testing.T) {
+	states := []BreakerState{Closed, Open, HalfOpen}
+	inputs := []BreakerInput{
+		{Trip: true}, {QuarantineElapsed: true}, {ProbeSurvived: true},
+	}
+	for _, from := range states {
+		for _, to := range states {
+			if from == to {
+				if LegalTransition(from, to) {
+					t.Errorf("self-move %v -> %v reported legal", from, to)
+				}
+				continue
+			}
+			reachable := false
+			for _, in := range inputs {
+				if next, err := NextBreakerState(from, in); err == nil && next == to {
+					reachable = true
+				}
+			}
+			if got := LegalTransition(from, to); got != reachable {
+				t.Errorf("LegalTransition(%v, %v) = %v, but step-function reachability is %v",
+					from, to, got, reachable)
+			}
+		}
+	}
+}
+
+// TestBreakerInputString pins the stimulus labels, including the
+// invalid multi-flag rendering.
+func TestBreakerInputString(t *testing.T) {
+	cases := []struct {
+		in   BreakerInput
+		want string
+	}{
+		{BreakerInput{}, "none"},
+		{BreakerInput{Trip: true}, "trip"},
+		{BreakerInput{QuarantineElapsed: true}, "quarantine-elapsed"},
+		{BreakerInput{ProbeSurvived: true}, "probe-survived"},
+		{BreakerInput{Trip: true, ProbeSurvived: true}, "invalid(trip=true, quarantine=false, probe=true)"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestConfigValidate is the regression net over the paper-over
+// defaults: negative durations and penalties, out-of-range trip
+// scores, and malformed health-weight vectors must all be rejected
+// with a typed *ConfigError naming the field, while the zero config
+// and sane customizations pass.
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{
+		{}, // zero value: every field defaulted
+		{TripScore: 0.8, OutageTrip: 5, MigrationPenalty: 0.25},
+		{HealthWeights: [5]float64{0.2, 0.2, 0.2, 0.2, 0.2}},
+		{HealthWeights: [5]float64{1, 0, 0, 0, 0}},
+	}
+	for i, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config %d rejected: %v", i, err)
+		}
+	}
+	invalid := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{HealthWindow: -1}, "HealthWindow"},
+		{Config{OpenSlots: -10}, "OpenSlots"},
+		{Config{ProbeSlots: -1}, "ProbeSlots"},
+		{Config{OutageTrip: -3}, "OutageTrip"},
+		{Config{MaxMigrations: -1}, "MaxMigrations"},
+		{Config{TripScore: 1.5}, "TripScore"},
+		{Config{TripScore: -0.1}, "TripScore"},
+		{Config{MigrationPenalty: -0.01}, "MigrationPenalty"},
+		{Config{HealthWeights: [5]float64{-0.1, 0.4, 0.3, 0.2, 0.2}}, "HealthWeights[0]"},
+		{Config{HealthWeights: [5]float64{0.1, 0.1, 0.1, 0.1, 0.1}}, "HealthWeights"},
+		{Config{HealthWeights: [5]float64{0.5, 0.5, 0.5, 0.5, 0.5}}, "HealthWeights"},
+	}
+	for _, tc := range invalid {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted, want %s rejection", tc.cfg, tc.field)
+			continue
+		}
+		ce, ok := err.(*ConfigError)
+		if !ok {
+			t.Errorf("config %+v: error %T, want *ConfigError", tc.cfg, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("config %+v rejected on %s, want %s", tc.cfg, ce.Field, tc.field)
+		}
+	}
+	// NewController refuses an invalid config outright.
+	if _, err := NewController(Config{TripScore: 2}); err == nil {
+		t.Error("NewController accepted TripScore = 2")
+	}
+}

@@ -90,6 +90,13 @@ type Config struct {
 	// MaxMigrations caps cross-region moves per job before the
 	// controller escalates to on-demand (default 8).
 	MaxMigrations int
+	// HealthWeights weights the five health-score terms
+	// [apiFaultRate, staleRate, rejectedRate, blockedStreak,
+	// outbidStreak] (DESIGN.md §8). The zero vector gets the defaults
+	// {0.35, 0.15, 0.10, 0.30, 0.10}; a custom vector must be
+	// non-negative and sum to 1 within 1% so scores stay in [0,1] and
+	// TripScore keeps its meaning.
+	HealthWeights [5]float64
 	// Metrics, when non-nil, receives the controller's own telemetry
 	// (fleet.* metrics). It is deliberately separate from the members'
 	// registries so an attached fleet never perturbs their snapshots.
@@ -103,6 +110,68 @@ type Config struct {
 	// leaves all members untouched, keeping seeded fleet runs
 	// bit-identical to an uninstrumented controller.
 	Trace *event.Recorder
+}
+
+// defaultHealthWeights are the DESIGN.md §8 weights for the five
+// health-score terms.
+var defaultHealthWeights = [5]float64{0.35, 0.15, 0.10, 0.30, 0.10}
+
+// ConfigError reports one invalid controller configuration field.
+type ConfigError struct {
+	// Field names the offending field.
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Reason says what constraint it violates.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("fleet: invalid %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the config for values withDefaults used to paper
+// over: negative windows, penalties, or trip thresholds, a trip score
+// outside (0, 1], and a health-weight vector that is negative or does
+// not sum to 1 (within 1%). Zero fields are fine — they take the
+// documented defaults. NewController validates; the member-count check
+// (a fleet needs at least one region) stays in NewController because a
+// Config does not know its members.
+func (c Config) Validate() error {
+	durations := []struct {
+		name string
+		v    int
+	}{
+		{"HealthWindow", c.HealthWindow},
+		{"OpenSlots", c.OpenSlots},
+		{"ProbeSlots", c.ProbeSlots},
+		{"OutageTrip", c.OutageTrip},
+		{"MaxMigrations", c.MaxMigrations},
+	}
+	for _, d := range durations {
+		if d.v < 0 {
+			return &ConfigError{Field: d.name, Value: float64(d.v), Reason: "negative duration"}
+		}
+	}
+	if c.TripScore < 0 || c.TripScore > 1 {
+		return &ConfigError{Field: "TripScore", Value: c.TripScore, Reason: "outside (0, 1]"}
+	}
+	if c.MigrationPenalty < 0 {
+		return &ConfigError{Field: "MigrationPenalty", Value: float64(c.MigrationPenalty), Reason: "negative penalty"}
+	}
+	if c.HealthWeights != [5]float64{} {
+		sum := 0.0
+		for i, w := range c.HealthWeights {
+			if w < 0 {
+				return &ConfigError{Field: fmt.Sprintf("HealthWeights[%d]", i), Value: w, Reason: "negative weight"}
+			}
+			sum += w
+		}
+		if sum < 0.99 || sum > 1.01 {
+			return &ConfigError{Field: "HealthWeights", Value: sum, Reason: "weights must sum to 1 (±1%)"}
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +192,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMigrations <= 0 {
 		c.MaxMigrations = 8
+	}
+	if c.HealthWeights == ([5]float64{}) {
+		c.HealthWeights = defaultHealthWeights
 	}
 	return c
 }
@@ -191,6 +263,7 @@ type Controller struct {
 	migrations    int
 	events        []Event
 	pendingImport *checkpoint.Record
+	leakedInsts   []string // on-demand instances whose release failed
 }
 
 // NewController builds a controller over the members, in order. Member
@@ -201,6 +274,9 @@ type Controller struct {
 // scoring reads the member's counters, so a blind member would never
 // trip on soft signals).
 func NewController(cfg Config, members ...Member) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(members) == 0 {
 		return nil, errors.New("fleet: no members")
 	}
@@ -335,7 +411,7 @@ func (f *Controller) observe() {
 		switch m.state {
 		case Open:
 			if slot-m.openedAt >= f.cfg.OpenSlots {
-				m.state = HalfOpen
+				m.state = breakerStep(m.state, BreakerInput{QuarantineElapsed: true})
 				m.probeLeft = f.cfg.ProbeSlots
 				f.event(slot, "probe", m.ID, fmt.Sprintf("quarantine elapsed after %d slots", f.cfg.OpenSlots))
 				f.traceTransition(m, slot, "quarantine-elapsed")
@@ -346,7 +422,7 @@ func (f *Controller) observe() {
 					m.probeLeft--
 				}
 				if m.probeLeft == 0 {
-					m.state = Closed
+					m.state = breakerStep(m.state, BreakerInput{ProbeSurvived: true})
 					m.accAPI, m.accStale, m.accRejected = 0, 0, 0
 					f.event(slot, "close", m.ID, fmt.Sprintf("probe survived %d slots", f.cfg.ProbeSlots))
 					f.traceTransition(m, slot, "probe-survived")
@@ -367,7 +443,8 @@ func (f *Controller) observe() {
 
 // healthScore folds a member's fault signals into [0,1]: weighted
 // saturating terms for API-fault, stale-estimate, and corrupt-quote
-// rates plus the blocked-launch and out-bid streaks (DESIGN.md §8).
+// rates plus the blocked-launch and out-bid streaks, under the
+// config's HealthWeights (DESIGN.md §8).
 func healthScore(cfg Config, m *member) float64 {
 	sat := func(x, n float64) float64 {
 		if x >= n {
@@ -376,17 +453,18 @@ func healthScore(cfg Config, m *member) float64 {
 		return x / n
 	}
 	ot := float64(cfg.OutageTrip)
-	return 0.35*sat(m.accAPI, ot) +
-		0.15*sat(m.accStale, 2) +
-		0.10*sat(m.accRejected, float64(cfg.HealthWindow)) +
-		0.30*sat(float64(m.blockedStreak), ot) +
-		0.10*sat(float64(m.outbidStreak), 2*ot)
+	w := cfg.HealthWeights
+	return w[0]*sat(m.accAPI, ot) +
+		w[1]*sat(m.accStale, 2) +
+		w[2]*sat(m.accRejected, float64(cfg.HealthWindow)) +
+		w[3]*sat(float64(m.blockedStreak), ot) +
+		w[4]*sat(float64(m.outbidStreak), 2*ot)
 }
 
 // trip opens member i's breaker.
 func (f *Controller) trip(i int, why string) {
 	m := f.members[i]
-	m.state = Open
+	m.state = breakerStep(m.state, BreakerInput{Trip: true})
 	m.openedAt = f.now()
 	m.tripped = true
 	f.met.Counter("fleet.trips").Inc()

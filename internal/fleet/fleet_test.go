@@ -142,7 +142,10 @@ func outageFleet(t *testing.T, fleetMet *obs.Registry, rec *event.Recorder) (*Co
 	t.Helper()
 	home := newMember(t, "home", flatTrace(t, 400, 0.03, 60, 3, 0.50))
 	away := newMember(t, "away", flatTrace(t, 400, 0.03, 0, 0, 0))
-	inj := chaos.New(chaos.Config{Seed: 11, RegionOutageRate: 1, RegionOutageAfter: 60, RegionOutageSlots: 400})
+	inj, err := chaos.New(chaos.Config{Seed: 11, RegionOutageRate: 1, RegionOutageAfter: 60, RegionOutageSlots: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
 	inj.Arm(home.Region, nil)
 	ctl, err := NewController(Config{OutageTrip: 3, MigrationPenalty: timeslot.Seconds(60), Metrics: fleetMet, Trace: rec}, home, away)
 	if err != nil {
@@ -249,7 +252,10 @@ func TestEscalatesWhenEveryRegionIsDown(t *testing.T) {
 	a := newMember(t, "a", flatTrace(t, 400, 0.03, 0, 0, 0))
 	b := newMember(t, "b", flatTrace(t, 400, 0.03, 0, 0, 0))
 	for i, m := range []Member{a, b} {
-		inj := chaos.New(chaos.Config{Seed: int64(21 + i), RegionOutageRate: 1})
+		inj, err := chaos.New(chaos.Config{Seed: int64(21 + i), RegionOutageRate: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 		inj.Arm(m.Region, nil)
 	}
 	ctl, err := NewController(Config{Metrics: met}, a, b)

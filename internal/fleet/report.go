@@ -62,6 +62,16 @@ type Report struct {
 	// run — unlike Outcome.Cost it includes slots leaked by orphaned
 	// requests that relaunched before their cancel landed.
 	FleetCost float64
+	// LeakedRequests lists spot request IDs still unreleased when the
+	// run ended: their cancel budget was exhausted and the per-slot
+	// reclaim loop had not landed either. In member order, then
+	// orphan-record order. The invariant liveness and billing checkers
+	// treat these — and only these — open requests as excused leaks.
+	LeakedRequests []string
+	// LeakedInstances lists on-demand instance IDs whose release failed
+	// at the end of a completed escalation leg; their bill stays in
+	// FleetCost.
+	LeakedInstances []string
 }
 
 // Schedule renders the failover schedule deterministically: one line
@@ -111,6 +121,7 @@ func (f *Controller) RunPersistent(spec job.Spec) (Report, error) {
 	f.escalated = false
 	f.migrations = 0
 	f.pendingImport = nil
+	f.leakedInsts = nil
 	for _, m := range f.members {
 		m.infeasible = false
 	}
@@ -234,7 +245,9 @@ runLoop:
 	rep.Events = append([]Event(nil), f.events...)
 	for i, m := range f.members {
 		rep.FleetCost += m.Region.TotalCost() - startCost[i]
+		rep.LeakedRequests = append(rep.LeakedRequests, m.orphans...)
 	}
+	rep.LeakedInstances = append(rep.LeakedInstances, f.leakedInsts...)
 	return rep, nil
 }
 
@@ -359,6 +372,9 @@ func (f *Controller) escalate(spec job.Spec, legExec timeslot.Hours) (Leg, error
 		// instance's bill stays in FleetCost; don't fail a completed job.
 		f.met.Counter("fleet.orphans").Inc()
 		f.event(f.now(), "orphan", m.ID, "on-demand release failed: "+err.Error())
+		if inst := tr.Instance(); inst != nil {
+			f.leakedInsts = append(f.leakedInsts, inst.ID)
+		}
 		cRep = client.Report{Strategy: "on-demand", Outcome: out}
 	}
 	return Leg{Member: m.ID, Strategy: "on-demand", Report: cRep}, nil

@@ -1,0 +1,122 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/obs/event"
+)
+
+// billingEps tolerates nothing beyond representation noise: the
+// auditor replays the biller's own accumulation order, so a healthy
+// run matches bit for bit and any real defect is orders of magnitude
+// larger.
+const billingEps = 1e-9
+
+// billingChecker audits billing conservation under the per-slot
+// (continuous-limit, Eq. 9) billing mode: every instance's bill is
+// recomputed from the raw price trace over its exact occupancy
+// interval, the region bill is the sum of its instances', and the
+// fleet bill is the sum of the region deltas — so a leaked orphan is
+// billed exactly once and a dropped or double-charged slot anywhere
+// is caught. It is a pure Finish-time checker.
+type billingChecker struct {
+	vs []Violation
+}
+
+func newBillingChecker() *billingChecker { return &billingChecker{} }
+
+func (c *billingChecker) Name() string            { return "billing-conservation" }
+func (c *billingChecker) Observe(event.Event)     {}
+func (c *billingChecker) Violations() []Violation { return c.vs }
+
+func (c *billingChecker) fail(region string, detail string, args ...any) {
+	c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: -1, Region: region,
+		Detail: fmt.Sprintf(detail, args...)})
+}
+
+func (c *billingChecker) Finish(st *RunState) {
+	fleetTotal := 0.0
+	for _, m := range st.Members {
+		r := m.Region
+		if r.Billing() != cloud.PerSlot {
+			// The audit formulas model the continuous-limit biller only;
+			// hourly-mode runs are out of scope by construction.
+			continue
+		}
+		slotHours := float64(r.Grid().Slot)
+		regionTotal := 0.0
+		for _, inst := range r.Instances() {
+			c.auditOccupancy(m.ID, inst)
+			want, ok := c.recompute(m.ID, r, inst, slotHours)
+			if ok && math.Abs(inst.Cost-want) > billingEps {
+				c.fail(m.ID, "instance %s billed $%v, trace recomputation gives $%v (%d slots from %d)",
+					inst.ID, inst.Cost, want, inst.RunSlots, inst.LaunchedSlot)
+			}
+			regionTotal += inst.Cost
+		}
+		if got := r.TotalCost(); math.Abs(got-regionTotal) > billingEps {
+			c.fail(m.ID, "region bill $%v differs from the sum of its instances $%v", got, regionTotal)
+		}
+		fleetTotal += regionTotal
+	}
+	// The scenario starts every region at cost zero (warm-up launches
+	// nothing), so the fleet bill must equal the sum of region bills —
+	// including slots burned by leaked orphans.
+	if math.Abs(st.Report.FleetCost-fleetTotal) > billingEps {
+		c.fail("", "report FleetCost $%v differs from summed member bills $%v (leaked requests %d, leaked instances %d)",
+			st.Report.FleetCost, fleetTotal, len(st.Report.LeakedRequests), len(st.Report.LeakedInstances))
+	}
+}
+
+// auditOccupancy checks a terminated instance was billed exactly its
+// occupancy interval: provider terminations (out-bid) forgive the
+// final slot, user terminations of spot pay it, and on-demand pays
+// launch-exclusive (launched between ticks, first billed next slot).
+func (c *billingChecker) auditOccupancy(region string, inst *cloud.Instance) {
+	if inst.TerminatedSlot < 0 {
+		return // still running: RunSlots is simply "billed so far"
+	}
+	span := inst.TerminatedSlot - inst.LaunchedSlot
+	want := span
+	if inst.Spot && !inst.ProviderTerminated {
+		want = span + 1
+	}
+	if inst.RunSlots != want {
+		c.fail(region, "instance %s billed %d slots over occupancy [%d,%d] (spot=%v provider-terminated=%v), want %d",
+			inst.ID, inst.RunSlots, inst.LaunchedSlot, inst.TerminatedSlot,
+			inst.Spot, inst.ProviderTerminated, want)
+	}
+}
+
+// recompute rebuilds the instance's bill from first principles, in
+// the biller's own accumulation order so float rounding matches
+// exactly: spot pays each billed slot's trace price, on-demand pays
+// the flat catalog rate.
+func (c *billingChecker) recompute(region string, r *cloud.Region, inst *cloud.Instance, slotHours float64) (float64, bool) {
+	if !inst.Spot {
+		spec, err := instances.Lookup(inst.Type)
+		if err != nil {
+			c.fail(region, "instance %s has unknown type %s: %v", inst.ID, inst.Type, err)
+			return 0, false
+		}
+		want := 0.0
+		for k := 0; k < inst.RunSlots; k++ {
+			want += spec.OnDemand * slotHours
+		}
+		return want, true
+	}
+	want := 0.0
+	for k := 0; k < inst.RunSlots; k++ {
+		p, err := r.TracePrice(inst.Type, inst.LaunchedSlot+k)
+		if err != nil {
+			c.fail(region, "instance %s billed slot %d outside the price trace: %v",
+				inst.ID, inst.LaunchedSlot+k, err)
+			return 0, false
+		}
+		want += p * slotHours
+	}
+	return want, true
+}

@@ -1,0 +1,116 @@
+package invariant
+
+import (
+	"math/rand"
+
+	"repro/internal/chaos"
+)
+
+// Grid enumerates explicit fault schedules over a bounded parameter
+// lattice: every (offset, duration, kind, target) single-fault
+// schedule, plus seeded random pairings of those singles. Offsets are
+// relative to the scenario's submit slot so the same grid transfers
+// across scenario sizes.
+type Grid struct {
+	// Offsets are fault start slots relative to the submit slot.
+	Offsets []int
+	// Durations are episode lengths in slots.
+	Durations []int
+	// Kinds are the fault kinds to enumerate.
+	Kinds []chaos.FaultKind
+	// Targets are member IDs ("" = home region).
+	Targets []string
+	// Pairs is how many seeded two-fault combinations to add on top of
+	// the exhaustive singles.
+	Pairs int
+	// Seed drives the pair and Random selections.
+	Seed int64
+}
+
+// DefaultGrid is the smoke campaign's lattice: 5 offsets x 3
+// durations x 6 kinds x 2 targets = 180 singles, plus 40 pairs.
+func DefaultGrid() Grid {
+	return Grid{
+		Offsets:   []int{0, 2, 6, 18, 54},
+		Durations: []int{1, 6, 24},
+		Kinds: []chaos.FaultKind{
+			chaos.FaultAPI, chaos.FaultRegionOutage, chaos.FaultCapacityOutage,
+			chaos.FaultStaleHistory, chaos.FaultOutbidDelay, chaos.FaultCheckpointFail,
+		},
+		Targets: []string{"", "region-1"},
+		Pairs:   40,
+		Seed:    1,
+	}
+}
+
+// singles enumerates the one-fault lattice points.
+func (g Grid) singles(base int) []chaos.FaultAt {
+	var out []chaos.FaultAt
+	for _, off := range g.Offsets {
+		for _, d := range g.Durations {
+			for _, k := range g.Kinds {
+				for _, t := range g.Targets {
+					out = append(out, chaos.FaultAt{Slot: base + off, Kind: k, Target: t, Slots: d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Schedules enumerates the grid: every single, then Pairs seeded
+// two-fault combinations of distinct singles. base is the scenario's
+// submit slot.
+func (g Grid) Schedules(base int) []chaos.Schedule {
+	singles := g.singles(base)
+	out := make([]chaos.Schedule, 0, len(singles)+g.Pairs)
+	for _, f := range singles {
+		out = append(out, chaos.Schedule{f})
+	}
+	if len(singles) < 2 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	for i := 0; i < g.Pairs; i++ {
+		a := rng.Intn(len(singles))
+		b := rng.Intn(len(singles) - 1)
+		if b >= a {
+			b++
+		}
+		out = append(out, chaos.Schedule{singles[a], singles[b]})
+	}
+	return out
+}
+
+// Random generates n seeded random schedules of 1..maxFaults faults
+// each, with start slots in [base, base+window) and durations up to
+// the grid's largest, drawing kinds and targets from the grid.
+func (g Grid) Random(n, maxFaults, base, window int) []chaos.Schedule {
+	if n <= 0 || len(g.Kinds) == 0 || len(g.Targets) == 0 || window <= 0 {
+		return nil
+	}
+	if maxFaults <= 0 {
+		maxFaults = 3
+	}
+	maxDur := 1
+	for _, d := range g.Durations {
+		if d > maxDur {
+			maxDur = d
+		}
+	}
+	rng := rand.New(rand.NewSource(g.Seed*7919 + int64(n)))
+	out := make([]chaos.Schedule, n)
+	for i := range out {
+		s := make(chaos.Schedule, 1+rng.Intn(maxFaults))
+		for j := range s {
+			s[j] = chaos.FaultAt{
+				Slot:   base + rng.Intn(window),
+				Kind:   g.Kinds[rng.Intn(len(g.Kinds))],
+				Target: g.Targets[rng.Intn(len(g.Targets))],
+				Slots:  1 + rng.Intn(maxDur),
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

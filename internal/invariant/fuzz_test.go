@@ -1,0 +1,69 @@
+package invariant
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// FuzzFaultSchedule drives the shrinker with fuzz-derived schedules
+// and fuzz-derived violation predicates, asserting its contract on
+// every input: shrinking terminates inside its budget, the result
+// still reproduces the violation, never grows, and — at an
+// untruncated fixpoint — is 1-minimal.
+//
+// The predicate family is "the schedule contains at least N faults of
+// kind K": deterministic, cheap, and subset-monotone enough that the
+// minimal reproducer is known exactly (N faults of kind K), which
+// pins the shrinker's answer, not just its invariants.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 10, 20, 30})
+	f.Add([]byte{3, 2, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
+	f.Add([]byte{5, 3, 255, 254, 253, 252, 251, 250, 249, 248})
+	f.Add([]byte{1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		kind := chaos.FaultKind(data[0] % 6)
+		need := 1 + int(data[1]%3)
+		var sched chaos.Schedule
+		for i := 2; i+1 < len(data) && len(sched) < 8; i += 2 {
+			sched = append(sched, chaos.FaultAt{
+				Slot:  int(data[i]),
+				Kind:  chaos.FaultKind(data[i+1] % 6),
+				Slots: 1 + int(data[i+1]%5),
+			})
+		}
+		violates := func(s chaos.Schedule) bool { return countKind(s, kind) >= need }
+		if !violates(sched) {
+			return // shrinking only minimizes violating inputs
+		}
+
+		res := Shrink(sched, 0, violates, 10000)
+
+		if !violates(res.Schedule) {
+			t.Fatalf("shrunk schedule no longer violates: %v", res.Schedule)
+		}
+		if len(res.Schedule) > len(sched) {
+			t.Fatalf("shrinking grew the schedule: %d -> %d", len(sched), len(res.Schedule))
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("shrunk schedule invalid: %v", err)
+		}
+		if res.Truncated {
+			return // budget exhausted: only the safety properties apply
+		}
+		if len(res.Schedule) != need {
+			t.Fatalf("fixpoint has %d faults, the known minimum is %d (kind %v)",
+				len(res.Schedule), need, kind)
+		}
+		for i := range res.Schedule {
+			cand := append(append(chaos.Schedule{}, res.Schedule[:i]...), res.Schedule[i+1:]...)
+			if violates(cand) {
+				t.Fatalf("not 1-minimal: dropping fault %d of %v still violates", i, res.Schedule)
+			}
+		}
+	})
+}

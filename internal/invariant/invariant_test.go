@@ -1,0 +1,192 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+)
+
+// TestCleanSchedulesNoViolations: the current tree survives every
+// single-fault lattice point — one per kind, at the submit slot and
+// mid-run — with all checkers quiet, replay included.
+func TestCleanSchedulesNoViolations(t *testing.T) {
+	base := Scenario{}.SubmitSlot()
+	scheds := []chaos.Schedule{nil}
+	for k := chaos.FaultAPI; k <= chaos.FaultCheckpointFail; k++ {
+		scheds = append(scheds,
+			chaos.Schedule{{Slot: base, Kind: k, Slots: 6}},
+			chaos.Schedule{{Slot: base + 4, Kind: k, Slots: 12, Target: "region-1"}})
+	}
+	for i, sched := range scheds {
+		res := RunSchedule(Scenario{}, i, sched, true)
+		if !res.Clean() {
+			t.Errorf("schedule %d %s: err=%q violations=%v", i, res.Schedule, res.Err, res.Violations)
+		}
+	}
+}
+
+// TestUnknownTargetRejected: a fault naming no fleet member is a
+// schedule error, not a silent no-op.
+func TestUnknownTargetRejected(t *testing.T) {
+	_, err := Scenario{}.Run(chaos.Schedule{{Slot: 0, Kind: chaos.FaultAPI, Target: "region-9", Slots: 1}})
+	if err == nil || !strings.Contains(err.Error(), "region-9") {
+		t.Fatalf("unknown target not rejected: %v", err)
+	}
+}
+
+// mutateBilling is the seeded billing defect for mutation testing: if
+// the schedule delivered any fault, the chronologically last instance
+// is overcharged — exactly the class of bug billing conservation
+// exists to catch.
+func mutateBilling(st *RunState) {
+	delivered := 0
+	for _, m := range st.Members {
+		if m.Injector != nil {
+			delivered += m.Injector.Stats().Total()
+		}
+	}
+	if delivered == 0 {
+		return
+	}
+	var last *cloud.Instance
+	for _, m := range st.Members {
+		if insts := m.Region.Instances(); len(insts) > 0 {
+			last = insts[len(insts)-1]
+		}
+	}
+	if last != nil {
+		last.Cost += 0.017
+	}
+}
+
+// TestSeededBillingBugCaughtAndShrunk is the acceptance mutation
+// test: a deliberately introduced billing defect — triggered whenever
+// faults are actually delivered — must (a) be caught by the billing
+// checker and (b) shrink to a minimal reproducer of at most 3 faults.
+func TestSeededBillingBugCaughtAndShrunk(t *testing.T) {
+	sc := Scenario{Mutate: mutateBilling}
+	base := sc.SubmitSlot()
+	sched := chaos.Schedule{
+		{Slot: base, Kind: chaos.FaultAPI, Slots: 6},
+		{Slot: base + 2, Kind: chaos.FaultStaleHistory, Slots: 6},
+		{Slot: base + 6, Kind: chaos.FaultOutbidDelay, Slots: 6, Target: "region-1"},
+	}
+
+	res := RunSchedule(sc, 0, sched, false)
+	if res.Err != "" {
+		t.Fatalf("mutated run errored: %s", res.Err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("seeded billing bug not caught")
+	}
+	caught := false
+	for _, v := range res.Violations {
+		if v.Checker == "billing-conservation" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("billing checker silent; violations: %v", res.Violations)
+	}
+
+	ShrinkViolating(sc, &res, sched, false, 200)
+	if res.ShrinkTruncated {
+		t.Fatalf("shrinking did not reach a fixpoint in %d evals", res.ShrinkEvals)
+	}
+	if res.ShrunkFaults > 3 {
+		t.Errorf("minimal reproducer has %d faults, want <= 3:\n%s", res.ShrunkFaults, res.Shrunk)
+	}
+	if res.ShrunkFaults < 1 {
+		t.Errorf("empty reproducer cannot violate:\n%s", res.Shrunk)
+	}
+	if !strings.HasPrefix(res.Shrunk, "chaos.Schedule{") {
+		t.Errorf("reproducer is not a Go literal: %q", res.Shrunk)
+	}
+	t.Logf("shrunk %d faults -> %d in %d evals:\n%s", len(sched), res.ShrunkFaults, res.ShrinkEvals, res.Shrunk)
+}
+
+// TestLivenessCatchesIncompletion: a report claiming the job did not
+// finish trips the liveness checker (Prop. 5's completion guarantee).
+func TestLivenessCatchesIncompletion(t *testing.T) {
+	sc := Scenario{Mutate: func(st *RunState) { st.Report.Outcome.Completed = false }}
+	res := RunSchedule(sc, 0, nil, false)
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Checker == "job-liveness" && strings.Contains(v.Detail, "did not complete") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("incompletion not flagged: %v", res.Violations)
+	}
+}
+
+// TestLivenessCatchesUnexcusedLeak: striking a leaked request from
+// the report's excusal list must turn it into a violation — the
+// excusal mechanism itself is what is being verified.
+func TestLivenessCatchesFleetCostDrift(t *testing.T) {
+	sc := Scenario{Mutate: func(st *RunState) { st.Report.FleetCost += 1 }}
+	res := RunSchedule(sc, 0, nil, false)
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Checker == "billing-conservation" && strings.Contains(v.Detail, "FleetCost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fleet-cost drift not flagged: %v", res.Violations)
+	}
+}
+
+// TestReplayCatchesDivergence: CompareReplay flags differing
+// fingerprints and localizes the first diverging line.
+func TestReplayCatchesDivergence(t *testing.T) {
+	a, err := Scenario{}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenario{}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CompareReplay(a, b); len(vs) != 0 {
+		t.Fatalf("identical runs flagged: %v", vs)
+	}
+	b.Fingerprint = append([]byte("tampered\n"), b.Fingerprint...)
+	vs := CompareReplay(a, b)
+	if len(vs) != 1 || vs[0].Checker != "replay-determinism" {
+		t.Fatalf("tampered fingerprint not flagged: %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "line 1") {
+		t.Errorf("divergence not localized: %v", vs[0])
+	}
+}
+
+// TestSummarizeCounts: the campaign report's counters and result
+// filtering are consistent.
+func TestSummarizeCounts(t *testing.T) {
+	results := []ScheduleResult{
+		{Index: 0},
+		{Index: 1, Violations: []Violation{{Checker: "billing-conservation"}}},
+		{Index: 2, Err: "boom"},
+		{Index: 3},
+	}
+	rep := Summarize(7, true, results)
+	if rep.Clean != 2 || rep.Violating != 1 || rep.Errors != 1 || rep.Schedules != 4 {
+		t.Errorf("counts: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Errorf("kept %d results, want the 2 non-clean ones", len(rep.Results))
+	}
+	if len(rep.Checkers) != 5 {
+		t.Errorf("checker roster: %v", rep.Checkers)
+	}
+}

@@ -1,0 +1,81 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/obs/event"
+)
+
+// livenessChecker verifies the Prop. 5 / Eq. 14 completion guarantee
+// end to end: the persistent job finishes (escalation to on-demand is
+// the §3.2 playbook, not a failure), every accepted bid terminates —
+// no spot request or instance survives the run except the leaks the
+// fleet report explicitly excuses — and the event stream agrees with
+// the simulator about how many times each request was out-bid.
+type livenessChecker struct {
+	// outbids counts OutBid events per request, keyed region/requestID
+	// because request IDs ("sir-000001") repeat across regions.
+	outbids map[string]int
+	vs      []Violation
+}
+
+func newLivenessChecker() *livenessChecker {
+	return &livenessChecker{outbids: make(map[string]int)}
+}
+
+func (c *livenessChecker) Name() string            { return "job-liveness" }
+func (c *livenessChecker) Violations() []Violation { return c.vs }
+
+func (c *livenessChecker) Observe(ev event.Event) {
+	if ev.Kind == event.OutBid {
+		// Subject is the instance; Cause carries the owning request ID.
+		c.outbids[ev.Region+"/"+ev.Cause]++
+	}
+}
+
+func (c *livenessChecker) fail(region string, detail string, args ...any) {
+	c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: -1, Region: region,
+		Detail: fmt.Sprintf(detail, args...)})
+}
+
+func (c *livenessChecker) Finish(st *RunState) {
+	if !st.Report.Outcome.Completed {
+		c.fail("", "job %s did not complete: Eq. 14 admission plus on-demand escalation guarantees completion",
+			st.Spec.ID)
+	}
+	leakedReq := make(map[string]bool, len(st.Report.LeakedRequests))
+	for _, id := range st.Report.LeakedRequests {
+		leakedReq[id] = true
+	}
+	leakedInst := make(map[string]bool, len(st.Report.LeakedInstances))
+	for _, id := range st.Report.LeakedInstances {
+		leakedInst[id] = true
+	}
+	for _, m := range st.Members {
+		reqLeaked := make(map[string]bool) // request IDs excused in this region
+		for _, req := range m.Region.Requests() {
+			if leakedReq[req.ID] {
+				reqLeaked[req.ID] = true
+			}
+			if (req.State == cloud.Open || req.State == cloud.Active) && !leakedReq[req.ID] {
+				c.fail(m.ID, "request %s still %v at end of run and not excused by Report.LeakedRequests",
+					req.ID, req.State)
+			}
+			if got := c.outbids[m.ID+"/"+req.ID]; got != req.Interruptions {
+				c.fail(m.ID, "request %s: %d out-bid events recorded but the simulator counts %d interruptions",
+					req.ID, got, req.Interruptions)
+			}
+		}
+		for _, inst := range m.Region.Instances() {
+			if !inst.Running {
+				continue
+			}
+			excused := leakedInst[inst.ID] || (inst.Spot && reqLeaked[inst.RequestID])
+			if !excused {
+				c.fail(m.ID, "instance %s (spot=%v, request %s) still running at end of run and not excused",
+					inst.ID, inst.Spot, inst.RequestID)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CompareReplay is the fifth invariant — replay determinism. Two runs
+// of the same scenario under the same fault schedule must produce
+// byte-identical fingerprints (failover schedule, merged outcome,
+// metrics snapshots, and the full flight-recorder export). A mismatch
+// is reported with the first diverging line so the drift is
+// localizable.
+func CompareReplay(a, b *RunResult) []Violation {
+	if bytes.Equal(a.Fingerprint, b.Fingerprint) {
+		return nil
+	}
+	aLines := bytes.Split(a.Fingerprint, []byte("\n"))
+	bLines := bytes.Split(b.Fingerprint, []byte("\n"))
+	line, got, want := 0, "", ""
+	for i := 0; i < len(aLines) || i < len(bLines); i++ {
+		var al, bl []byte
+		if i < len(aLines) {
+			al = aLines[i]
+		}
+		if i < len(bLines) {
+			bl = bLines[i]
+		}
+		if !bytes.Equal(al, bl) {
+			line, got, want = i+1, truncate(string(bl)), truncate(string(al))
+			break
+		}
+	}
+	return []Violation{{Checker: "replay-determinism", Slot: -1,
+		Detail: fmt.Sprintf("replay diverged at fingerprint line %d: first run %q, replay %q", line, want, got)}}
+}
+
+func truncate(s string) string {
+	const limit = 160
+	if len(s) > limit {
+		return s[:limit] + "..."
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package invariant
+
+import "repro/internal/chaos"
+
+// ShrinkResult is a minimized violating schedule.
+type ShrinkResult struct {
+	// Schedule still violates (when the input did).
+	Schedule chaos.Schedule
+	// Evals counts oracle evaluations spent.
+	Evals int
+	// Truncated reports the eval budget ran out before the fixpoint;
+	// Schedule is the smallest violator found so far.
+	Truncated bool
+}
+
+// Shrink minimizes a violating fault schedule against the violates
+// oracle, ddmin-style, iterated to a fixpoint:
+//
+//  1. Subset removal (ddmin): remove complement chunks, halving chunk
+//     size down to single faults.
+//  2. Duration halving: each surviving fault's episode length is
+//     halved while the violation persists.
+//  3. Slot bisection: each fault's start slot is binary-searched down
+//     toward floor (the scenario's submit slot).
+//
+// Every accepted step strictly decreases the measure (fault count,
+// then total duration, then total start offset), so the fixpoint
+// loop terminates; maxEvals is a hard cap on oracle calls on top.
+// At an untruncated fixpoint the result is 1-minimal: removing any
+// single remaining fault no longer violates.
+//
+// The oracle must be deterministic and violates(s) must be true on
+// entry; otherwise the input is returned unchanged (after the probes
+// the budget allowed).
+func Shrink(s chaos.Schedule, floor int, violates func(chaos.Schedule) bool, maxEvals int) ShrinkResult {
+	if maxEvals <= 0 {
+		maxEvals = 200
+	}
+	evals, truncated := 0, false
+	test := func(c chaos.Schedule) bool {
+		if evals >= maxEvals {
+			truncated = true
+			return false
+		}
+		evals++
+		return violates(c)
+	}
+
+	cur := s.Clone()
+	for changed := true; changed && !truncated; {
+		changed = false
+
+		// Phase 1: ddmin subset removal.
+		for n := 2; len(cur) >= 2; {
+			removed := false
+			chunk := (len(cur) + n - 1) / n
+			for start := 0; start < len(cur); start += chunk {
+				end := min(start+chunk, len(cur))
+				if end-start >= len(cur) {
+					continue // never propose the empty schedule
+				}
+				cand := append(append(chaos.Schedule{}, cur[:start]...), cur[end:]...)
+				if test(cand) {
+					cur = cand
+					removed, changed = true, true
+					n = max(2, n-1)
+					break
+				}
+			}
+			if !removed {
+				if n >= len(cur) {
+					break
+				}
+				n = min(n*2, len(cur))
+			}
+		}
+
+		// Phase 2: duration halving.
+		for i := range cur {
+			for cur[i].Slots > 1 {
+				cand := cur.Clone()
+				cand[i].Slots /= 2
+				if !test(cand) {
+					break
+				}
+				cur = cand
+				changed = true
+			}
+		}
+
+		// Phase 3: slot bisection toward floor. Invariant: cur (slot =
+		// hi) violates; find the smallest slot in [floor, hi] that
+		// still does.
+		for i := range cur {
+			if cur[i].Slot <= floor {
+				continue
+			}
+			lo, hi := floor, cur[i].Slot
+			for lo < hi && !truncated {
+				mid := lo + (hi-lo)/2
+				cand := cur.Clone()
+				cand[i].Slot = mid
+				if test(cand) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			if hi < cur[i].Slot {
+				cur[i].Slot = hi
+				changed = true
+			}
+		}
+	}
+	return ShrinkResult{Schedule: cur, Evals: evals, Truncated: truncated}
+}

@@ -1,0 +1,156 @@
+package invariant
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func countKind(s chaos.Schedule, k chaos.FaultKind) int {
+	n := 0
+	for _, f := range s {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestShrinkSubsetMinimal: a predicate needing >= 2 API faults
+// shrinks a 6-fault schedule to exactly those 2, 1-minimally.
+func TestShrinkSubsetMinimal(t *testing.T) {
+	violates := func(s chaos.Schedule) bool { return countKind(s, chaos.FaultAPI) >= 2 }
+	sched := chaos.Schedule{
+		{Slot: 10, Kind: chaos.FaultAPI, Slots: 4},
+		{Slot: 20, Kind: chaos.FaultStaleHistory, Slots: 8},
+		{Slot: 30, Kind: chaos.FaultAPI, Slots: 2},
+		{Slot: 40, Kind: chaos.FaultRegionOutage, Slots: 16},
+		{Slot: 50, Kind: chaos.FaultAPI, Slots: 1},
+		{Slot: 60, Kind: chaos.FaultCheckpointFail, Slots: 1},
+	}
+	res := Shrink(sched, 0, violates, 10000)
+	if res.Truncated {
+		t.Fatal("truncated")
+	}
+	if len(res.Schedule) != 2 || countKind(res.Schedule, chaos.FaultAPI) != 2 {
+		t.Fatalf("shrunk to %v, want exactly 2 API faults", res.Schedule)
+	}
+	if !violates(res.Schedule) {
+		t.Fatal("result does not violate")
+	}
+	// 1-minimality: every single removal stops violating.
+	for i := range res.Schedule {
+		cand := append(append(chaos.Schedule{}, res.Schedule[:i]...), res.Schedule[i+1:]...)
+		if violates(cand) {
+			t.Errorf("not 1-minimal: removing fault %d still violates", i)
+		}
+	}
+	// Durations and slots were driven to their floors too.
+	for _, f := range res.Schedule {
+		if f.Slots != 1 || f.Slot != 0 {
+			t.Errorf("fault %+v not minimized (want Slots=1, Slot=0)", f)
+		}
+	}
+}
+
+// TestShrinkSlotBisection: a slot-threshold predicate lands exactly
+// on the boundary.
+func TestShrinkSlotBisection(t *testing.T) {
+	violates := func(s chaos.Schedule) bool {
+		return len(s) >= 1 && s[0].Slot >= 100
+	}
+	res := Shrink(chaos.Schedule{{Slot: 977, Kind: chaos.FaultAPI, Slots: 1}}, 0, violates, 10000)
+	if res.Truncated || len(res.Schedule) != 1 || res.Schedule[0].Slot != 100 {
+		t.Fatalf("bisection result %v, want single fault at slot 100", res.Schedule)
+	}
+}
+
+// TestShrinkDurationHalving: durations halve while the violation
+// persists.
+func TestShrinkDurationHalving(t *testing.T) {
+	violates := func(s chaos.Schedule) bool {
+		total := 0
+		for _, f := range s {
+			total += f.Slots
+		}
+		return total >= 5
+	}
+	res := Shrink(chaos.Schedule{{Slot: 0, Kind: chaos.FaultAPI, Slots: 32}}, 0, violates, 10000)
+	if res.Truncated || len(res.Schedule) != 1 || res.Schedule[0].Slots != 8 {
+		t.Fatalf("halving result %v, want one fault with Slots=8", res.Schedule)
+	}
+}
+
+// TestShrinkBudget: the eval cap is a hard stop and the result still
+// violates.
+func TestShrinkBudget(t *testing.T) {
+	violates := func(s chaos.Schedule) bool { return len(s) >= 1 }
+	sched := make(chaos.Schedule, 16)
+	for i := range sched {
+		sched[i] = chaos.FaultAt{Slot: 1000 + i, Kind: chaos.FaultAPI, Slots: 32}
+	}
+	res := Shrink(sched, 0, violates, 3)
+	if !res.Truncated {
+		t.Fatal("budget of 3 evals not reported as truncated")
+	}
+	if res.Evals > 3 {
+		t.Fatalf("spent %d evals over a budget of 3", res.Evals)
+	}
+	if !violates(res.Schedule) {
+		t.Fatal("truncated result does not violate")
+	}
+}
+
+// TestShrinkNonViolatingInput: when the input never violates, the
+// schedule comes back unchanged.
+func TestShrinkNonViolatingInput(t *testing.T) {
+	sched := chaos.Schedule{{Slot: 5, Kind: chaos.FaultAPI, Slots: 2}}
+	res := Shrink(sched, 0, func(chaos.Schedule) bool { return false }, 100)
+	if len(res.Schedule) != 1 || res.Schedule[0] != sched[0] {
+		t.Fatalf("non-violating input mangled: %v", res.Schedule)
+	}
+}
+
+// TestGridSchedules: the default grid enumerates the documented
+// lattice and its pairs combine distinct singles.
+func TestGridSchedules(t *testing.T) {
+	g := DefaultGrid()
+	scheds := g.Schedules(576)
+	singles := len(g.Offsets) * len(g.Durations) * len(g.Kinds) * len(g.Targets)
+	if want := singles + g.Pairs; len(scheds) != want {
+		t.Fatalf("grid enumerated %d schedules, want %d", len(scheds), want)
+	}
+	for i, s := range scheds {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schedule %d invalid: %v", i, err)
+		}
+		if i < singles && len(s) != 1 {
+			t.Fatalf("schedule %d: %d faults, want a single", i, len(s))
+		}
+		if i >= singles {
+			if len(s) != 2 {
+				t.Fatalf("pair %d has %d faults", i, len(s))
+			}
+			if s[0] == s[1] {
+				t.Errorf("pair %d combines identical singles", i)
+			}
+		}
+	}
+	// Random schedules are valid, bounded, and seed-stable.
+	r1 := g.Random(30, 3, 576, 72)
+	r2 := g.Random(30, 3, 576, 72)
+	if len(r1) != 30 {
+		t.Fatalf("Random returned %d schedules", len(r1))
+	}
+	for i := range r1 {
+		if err := r1[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(r1[i]) < 1 || len(r1[i]) > 3 {
+			t.Fatalf("random schedule %d has %d faults", i, len(r1[i]))
+		}
+		if r1[i].GoString() != r2[i].GoString() {
+			t.Fatal("Random is not seed-stable")
+		}
+	}
+}

@@ -186,6 +186,11 @@ func (t *Tracker) Spec() Spec { return t.spec }
 // Request returns the job's spot request (nil for on-demand jobs).
 func (t *Tracker) Request() *cloud.SpotRequest { return t.req }
 
+// Instance returns the job's on-demand instance (nil for spot jobs).
+// The fleet controller reads it to account for instances whose release
+// failed — the invariant liveness checker audits them as leaks.
+func (t *Tracker) Instance() *cloud.Instance { return t.onDemand }
+
 // Done reports whether the job has finished or failed.
 func (t *Tracker) Done() bool { return t.status == Done || t.status == Failed }
 

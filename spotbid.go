@@ -41,9 +41,11 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/forecast"
 	"repro/internal/instances"
+	"repro/internal/invariant"
 	"repro/internal/job"
 	"repro/internal/mapreduce"
 	"repro/internal/market"
@@ -305,6 +307,50 @@ var (
 	NewChaos     = chaos.New
 	UniformChaos = chaos.Uniform
 	DefaultRetry = retry.Default
+)
+
+// Explicit fault schedules and the resilience verification subsystem
+// (see internal/chaos and internal/invariant): FaultSchedule pins an
+// exact fault incident list, NewFaultSchedule arms it RNG-free, and
+// the invariant scenario/campaign types drive the runtime invariant
+// checkers over enumerated schedules with shrinking.
+type (
+	// FaultAt is one scheduled fault episode; FaultSchedule an
+	// explicit incident list; FaultScheduleInjector the deterministic
+	// injector delivering exactly those faults.
+	FaultAt               = chaos.FaultAt
+	FaultKind             = chaos.FaultKind
+	FaultSchedule         = chaos.Schedule
+	FaultScheduleInjector = chaos.ScheduleInjector
+	// InvariantViolation is one invariant breach; InvariantScenario
+	// the fleet run the fault-schedule explorer perturbs;
+	// InvariantGrid the schedule lattice; CampaignReport the audited
+	// campaign summary.
+	InvariantViolation = invariant.Violation
+	InvariantScenario  = invariant.Scenario
+	InvariantGrid      = invariant.Grid
+	CampaignReport     = invariant.CampaignReport
+)
+
+// The schedulable fault kinds.
+const (
+	FaultAPI            = chaos.FaultAPI
+	FaultRegionOutage   = chaos.FaultRegionOutage
+	FaultCapacityOutage = chaos.FaultCapacityOutage
+	FaultStaleHistory   = chaos.FaultStaleHistory
+	FaultOutbidDelay    = chaos.FaultOutbidDelay
+	FaultCheckpointFail = chaos.FaultCheckpointFail
+)
+
+// Resilience-verification constructors: the schedule injector, the
+// per-run checker suite, the default schedule lattice, the shrinker,
+// and the parallel campaign driver.
+var (
+	NewFaultSchedule     = chaos.NewSchedule
+	NewInvariantSuite    = invariant.NewSuite
+	DefaultInvariantGrid = invariant.DefaultGrid
+	ShrinkFaultSchedule  = invariant.Shrink
+	ResilienceCampaign   = experiments.ResilienceCampaign
 )
 
 // Transient and Permanent classify errors for the retry policy;
