@@ -29,7 +29,7 @@ race-obs:
 		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
 		./internal/market/ ./internal/fleet/ ./internal/trace/ \
 		./internal/dist/ ./internal/experiments/ ./internal/chaos/ \
-		./internal/invariant/
+		./internal/invariant/ ./internal/strategy/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
@@ -43,12 +43,13 @@ no-wallclock:
 
 check: vet no-wallclock race-obs race shuffle perfgate resilcheck
 
-# Short fuzz pass over both history-parser targets and the
-# fault-schedule shrinker.
+# Short fuzz pass over both history-parser targets, the
+# fault-schedule shrinker, and the strategy deciders.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/invariant/
+	$(GO) test -fuzz=FuzzStrategyDecision -fuzztime=30s ./internal/strategy/
 
 # Resilience smoke campaign (deterministic seed): the full default
 # fault-schedule grid plus random schedules under all five invariant

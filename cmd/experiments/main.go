@@ -24,7 +24,7 @@ func main() {
 	var (
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		runs        = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
-		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,failover,ablations")
+		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,tournament,failover,ablations")
 		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the experiments")
 		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON instead of a table (implies -metrics)")
 		traceOn     = flag.Bool("trace", false, "record a flight-recorder event trace of run 0 of each sweep cell")
@@ -97,6 +97,11 @@ func main() {
 	if sel("chaos") {
 		section("Chaos — strategy degradation under injected faults", func() (interface{ Render() string }, error) {
 			return experiments.ChaosSweep(opts)
+		})
+	}
+	if sel("tournament") {
+		section("Tournament — strategy league across the chaos grid", func() (interface{ Render() string }, error) {
+			return experiments.Tournament(opts)
 		})
 	}
 	if sel("failover") {

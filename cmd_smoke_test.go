@@ -151,6 +151,19 @@ func TestExperimentsCLI(t *testing.T) {
 			t.Errorf("experiments -metrics-json missing %q in:\n%s", want, out)
 		}
 	}
+
+	// The strategy tournament ranks every registered strategy with its
+	// invariant audit and replay verdict in the league table.
+	out = runCmd(t, bin, "-only", "tournament", "-runs", "1")
+	for _, want := range []string{"Tournament", "rank", "savings", "violations", "replay",
+		"one-time", "persistent", "pid", "portfolio", "autospot", "on-demand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments tournament missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Errorf("tournament replay diverged:\n%s", out)
+	}
 }
 
 func TestResilcheckCLI(t *testing.T) {

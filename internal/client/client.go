@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/event"
 	"repro/internal/retry"
+	"repro/internal/strategy"
 	"repro/internal/timeslot"
 )
 
@@ -219,6 +220,10 @@ type Telemetry struct {
 	// degraded telemetry made no progress for StallSlots, so the
 	// remainder of the job ran on-demand.
 	Stalled bool
+	// Rebids counts the mid-run revisions an adaptive strategy drove:
+	// each one released the running leg and resubmitted the remainder
+	// under a new decision (the league table's migration column).
+	Rebids int
 	// Metrics is the client registry's cumulative snapshot taken when
 	// the report was produced — the run's metrics summary. Nil unless
 	// a registry is installed (SetMetrics); when one client runs
@@ -423,86 +428,25 @@ type Report struct {
 // RunOneTime prices the job with Prop. 4 and runs it on a one-time
 // spot request.
 func (c *Client) RunOneTime(spec job.Spec) (Report, error) {
-	c.setActive(nil)
-	m, tel, err := c.market(spec.Type)
-	if err != nil {
-		return Report{}, err
-	}
-	bid, err := m.OneTimeBid(core.Job{Exec: spec.Exec, Recovery: spec.Recovery})
-	if err != nil {
-		return Report{}, err
-	}
-	return c.runSpot("one-time", spec, bid, cloud.OneTime, tel)
+	return c.RunStrategy(spec, strategy.OneTime{})
 }
 
 // RunPersistent prices the job with Prop. 5 and runs it on a
 // persistent spot request.
 func (c *Client) RunPersistent(spec job.Spec) (Report, error) {
-	c.setActive(nil)
-	m, tel, err := c.market(spec.Type)
-	if err != nil {
-		return Report{}, err
-	}
-	bid, err := m.PersistentBid(core.Job{Exec: spec.Exec, Recovery: spec.Recovery})
-	if err != nil {
-		return Report{}, err
-	}
-	return c.runSpot("persistent", spec, bid, cloud.Persistent, tel)
+	return c.RunStrategy(spec, strategy.Persistent{})
 }
 
 // RunPercentile bids the q-th percentile of the observed prices — the
 // §7.1 "bid the 90th percentile" baseline.
 func (c *Client) RunPercentile(spec job.Spec, q float64, kind cloud.RequestKind) (Report, error) {
-	c.setActive(nil)
-	m, tel, err := c.market(spec.Type)
-	if err != nil {
-		return Report{}, err
-	}
-	price, err := m.PercentileBid(q)
-	if err != nil {
-		return Report{}, err
-	}
-	analytic, err := c.eval(m, spec, price, kind)
-	if err != nil {
-		return Report{}, err
-	}
-	return c.runSpot(fmt.Sprintf("percentile-%g", q), spec, analytic, kind, tel)
+	return c.RunStrategy(spec, strategy.Percentile{Q: q, Kind: kind})
 }
 
 // RunFixedBid runs the job at an explicit bid price (e.g. the
 // best-offline-in-retrospect baseline).
 func (c *Client) RunFixedBid(name string, spec job.Spec, price float64, kind cloud.RequestKind) (Report, error) {
-	c.setActive(nil)
-	m, tel, err := c.market(spec.Type)
-	if err != nil {
-		return Report{}, err
-	}
-	analytic, err := c.eval(m, spec, price, kind)
-	if err != nil {
-		return Report{}, err
-	}
-	return c.runSpot(name, spec, analytic, kind, tel)
-}
-
-// eval computes the analytic Bid fields for an arbitrary price.
-func (c *Client) eval(m core.Market, spec job.Spec, price float64, kind cloud.RequestKind) (core.Bid, error) {
-	j := core.Job{Exec: spec.Exec, Recovery: spec.Recovery}
-	if kind == cloud.Persistent {
-		b, err := m.EvalPersistent(price, j)
-		switch {
-		case err == nil:
-			return b, nil
-		case errors.Is(err, core.ErrInfeasible):
-			// Infeasible at this price: report the raw price with no
-			// predictions rather than refusing to run the baseline.
-			return core.Bid{Price: price}, nil
-		default:
-			// Anything else (bad market, invalid job spec) is a real
-			// error, not a property of the bid — propagate.
-			return core.Bid{}, err
-		}
-	}
-	return m.EvalOneTime(price, j)
+	return c.RunStrategy(spec, strategy.FixedBid{Label: name, Price: price, Kind: kind})
 }
 
 // RunOnDemand runs the job on an on-demand instance — the cost

@@ -1,0 +1,124 @@
+package client
+
+// RunStrategy-level coverage of the engine's new execution paths: the
+// adaptive leg loop (pid, autospot), the tranche splitter (portfolio),
+// and the abstain path (on-demand) — every registered strategy must
+// run a job end-to-end on a clean region, deterministically.
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/instances"
+	"repro/internal/job"
+	"repro/internal/strategy"
+	"repro/internal/timeslot"
+	"repro/internal/trace"
+)
+
+func strategyClient(t *testing.T, seed int64) *Client {
+	t.Helper()
+	tr, err := trace.Generate(instances.R3XLarge, trace.GenOptions{Days: 63, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := cloud.NewRegion(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Skip(goldenHistorySlots); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRunStrategyAllRegistered runs every registered strategy through
+// the engine on a clean region: no errors, and strategies that
+// guarantee completion must actually complete.
+func TestRunStrategyAllRegistered(t *testing.T) {
+	spec := job.Spec{ID: "engine-job", Type: instances.R3XLarge,
+		Exec: 1, Recovery: timeslot.Seconds(30)}
+	for _, name := range strategy.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := strategyClient(t, 11)
+			s, err := strategy.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.RunStrategy(spec, s)
+			if err != nil {
+				t.Fatalf("RunStrategy: %v", err)
+			}
+			if rep.Strategy != name {
+				t.Errorf("report strategy = %q, want %q", rep.Strategy, name)
+			}
+			if !(rep.Outcome.Cost > 0) {
+				t.Errorf("cost = %v, want > 0", rep.Outcome.Cost)
+			}
+			info, _ := strategy.Lookup(name)
+			if info.GuaranteesCompletion && !rep.Outcome.Completed {
+				t.Errorf("%s promises completion but did not complete: %+v", name, rep.Outcome)
+			}
+			if rep.Outcome.Completed && rep.Outcome.RunTime < spec.Exec {
+				t.Errorf("completed with RunTime %v < exec %v", rep.Outcome.RunTime, spec.Exec)
+			}
+		})
+	}
+}
+
+// TestRunStrategyDeterministic pins the engine's replay contract at
+// the client level: the same seed gives byte-identical reports for
+// every registered strategy.
+func TestRunStrategyDeterministic(t *testing.T) {
+	spec := job.Spec{ID: "engine-job", Type: instances.R3XLarge,
+		Exec: 2, Recovery: timeslot.Seconds(30)}
+	for _, name := range strategy.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() string {
+				c := strategyClient(t, 23)
+				s, err := strategy.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := c.RunStrategy(spec, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return formatReport(name, rep, nil)
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("replay diverged:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestRunStrategyRejectsBadInput covers the engine's guard rails.
+func TestRunStrategyRejectsBadInput(t *testing.T) {
+	c := strategyClient(t, 5)
+	spec := job.Spec{ID: "bad", Type: instances.R3XLarge, Exec: 1}
+	if _, err := c.RunStrategy(spec, nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	if _, err := c.RunStrategy(spec, badSplit{}); err == nil {
+		t.Error("tranche weights summing past 1 accepted")
+	}
+}
+
+// badSplit emits an invalid tranche split (weights sum to 1.5).
+type badSplit struct{}
+
+func (badSplit) Name() string { return "bad-split" }
+func (badSplit) Decide(strategy.Observation) (strategy.Decision, error) {
+	return strategy.Decision{Tranches: []strategy.Tranche{
+		{Weight: 0.75, Abstain: true},
+		{Weight: 0.75, Abstain: true},
+	}}, nil
+}

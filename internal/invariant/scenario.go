@@ -197,6 +197,13 @@ func (sc Scenario) Run(sched chaos.Schedule) (*RunResult, error) {
 	return &RunResult{State: st, Events: rec.Events(), Fingerprint: fingerprint(st, met, rec)}, nil
 }
 
+// Fingerprint serializes a run's determinism fingerprint — the
+// exported entry for harnesses (e.g. the strategy tournament) that
+// assemble RunResults from their own runs instead of Scenario.Run.
+func Fingerprint(st *RunState, met *obs.Registry, rec *event.Recorder) []byte {
+	return fingerprint(st, met, rec)
+}
+
 // fingerprint serializes everything the determinism contract pins:
 // the failover schedule, the merged outcome, the fleet and member
 // metric snapshots, and the byte-stable flight-recorder export.

@@ -1,0 +1,85 @@
+package strategy
+
+// An AutoSpotting-style opportunistic-replace heuristic: start safe
+// on an on-demand instance, watch the spot market, and replace the
+// instance with a spot request bid at the on-demand price once the
+// market has offered a deep enough discount for long enough. If the
+// spot leg then starves (out-bid and idle past the attrition window),
+// fall back to on-demand and start watching again. This is how the
+// open-source AutoSpotting controller manages autoscaling groups:
+// bid-at-on-demand, replace opportunistically, never let attrition
+// stall the workload.
+
+import (
+	"repro/internal/cloud"
+)
+
+// AutoSpot is the opportunistic-replace heuristic. The registry hands
+// every run a fresh instance, so the discount streak never leaks
+// across jobs.
+type AutoSpot struct {
+	// Discount is the minimum relative saving before replacing:
+	// spot ≤ (1−Discount)·on-demand (default 0.30).
+	Discount float64
+	// Patience is how many consecutive discounted slots must be seen
+	// before the replacement (default 6 — half an hour).
+	Patience int
+	// Attrition is how many idle slots a spot leg tolerates before
+	// falling back to on-demand (default 12 — one hour).
+	Attrition int
+
+	streak int
+}
+
+func (a *AutoSpot) knobs() (discount float64, patience, attrition int) {
+	discount, patience, attrition = a.Discount, a.Patience, a.Attrition
+	if !(discount > 0) || discount >= 1 {
+		discount = 0.30
+	}
+	if patience <= 0 {
+		patience = 6
+	}
+	if attrition <= 0 {
+		attrition = 12
+	}
+	return discount, patience, attrition
+}
+
+// Name implements Strategy.
+func (a *AutoSpot) Name() string { return "autospot" }
+
+// Decide implements Strategy: the first leg always runs on-demand —
+// the workload starts immediately, savings come later.
+func (a *AutoSpot) Decide(o Observation) (Decision, error) {
+	a.streak = 0
+	return Decision{Abstain: true}, nil
+}
+
+// Reprice implements Adaptive.
+func (a *AutoSpot) Reprice(o Observation) (Decision, bool) {
+	discount, patience, attrition := a.knobs()
+	if o.OnSpot {
+		a.streak = 0
+		if o.IdleSlots >= attrition {
+			// Attrition: the market took the discount back; finish the
+			// remainder on-demand and watch for the next window.
+			return Decision{Abstain: true}, true
+		}
+		return Decision{}, false
+	}
+	_, od := bounds(o.Market)
+	if o.Spot > 0 && o.Spot <= (1-discount)*od {
+		a.streak++
+	} else {
+		a.streak = 0
+	}
+	if a.streak < patience {
+		return Decision{}, false
+	}
+	// Replace: bid the on-demand price (AutoSpotting's bid), so the
+	// spot leg only dies if the market exceeds what we were paying
+	// anyway.
+	a.streak = 0
+	return Decision{Price: od, Kind: cloud.Persistent,
+		Analytic: evalLenient(o.Market, o.Job, od, cloud.Persistent)}, true
+}

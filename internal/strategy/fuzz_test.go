@@ -1,0 +1,115 @@
+package strategy
+
+// FuzzStrategyDecision throws arbitrary market snapshots at every
+// registered strategy: whatever the inputs, a strategy must never
+// panic and never emit a NaN or negative bid, and tranche splits must
+// keep positive weights summing to 1. Wired into `make fuzz`.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+// sanePrice clamps fuzzed floats into a usable positive price.
+func sanePrice(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.01
+	}
+	x = math.Abs(x)
+	if x < 1e-6 {
+		return 1e-6
+	}
+	if x > 1e6 {
+		return 1e6
+	}
+	return x
+}
+
+func checkDecision(t *testing.T, name string, d Decision) {
+	t.Helper()
+	if !d.Abstain && len(d.Tranches) == 0 {
+		if math.IsNaN(d.Price) || d.Price < 0 {
+			t.Fatalf("%s: bid %v", name, d.Price)
+		}
+	}
+	if len(d.Tranches) > 0 {
+		sum := 0.0
+		for i, tr := range d.Tranches {
+			if math.IsNaN(tr.Weight) || tr.Weight <= 0 {
+				t.Fatalf("%s: tranche %d weight %v", name, i, tr.Weight)
+			}
+			if !tr.Abstain && (math.IsNaN(tr.Price) || tr.Price < 0) {
+				t.Fatalf("%s: tranche %d price %v", name, i, tr.Price)
+			}
+			sum += tr.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: tranche weights sum to %v", name, sum)
+		}
+	}
+}
+
+func FuzzStrategyDecision(f *testing.F) {
+	f.Add(0.03, 0.05, 0.30, 0.35, 0.04, 1.0, 30.0)
+	f.Add(0.001, 1000.0, 0.5, 2.0, 0.0, 8.0, 0.0)
+	f.Add(math.NaN(), math.Inf(1), -1.0, 0.35, math.NaN(), 0.5, 10.0)
+	f.Add(0.35, 0.35, 0.35, 0.35, 0.35, 4.0, 3600.0)
+	f.Fuzz(func(t *testing.T, p1, p2, p3, od, spot, execH, recovS float64) {
+		prices := []float64{sanePrice(p1), sanePrice(p2), sanePrice(p3)}
+		e, err := dist.NewEmpirical(prices, 0)
+		if err != nil {
+			t.Skip()
+		}
+		if math.IsNaN(od) || math.IsInf(od, 0) {
+			od = 0.35
+		}
+		m := core.Market{Price: e, OnDemand: od}
+		exec := timeslot.Hours(execH)
+		if !(exec > 0) || exec > 1e6 {
+			exec = 1
+		}
+		recov := timeslot.Seconds(recovS)
+		if !(recov >= 0) || recov >= exec {
+			recov = 0
+		}
+		o := Observation{
+			Market: m,
+			Job:    core.Job{Exec: exec, Recovery: recov},
+			Spot:   spot,
+			BestOffline: func(timeslot.Hours) (float64, error) {
+				return sanePrice(p2), nil
+			},
+		}
+		for _, name := range Names() {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := s.Decide(o)
+			if err != nil {
+				continue // a rejected market is fine; panics and NaNs are not
+			}
+			checkDecision(t, name, d)
+			ad, ok := s.(Adaptive)
+			if !ok {
+				continue
+			}
+			ro := o
+			for step := 0; step < 8; step++ {
+				// Cycle the leg through spot/on-demand and idle states
+				// while the (possibly hostile) spot price repeats.
+				ro.OnSpot = step%2 == 0
+				ro.IdleSlots = step * 3
+				ro.Leg = step
+				d2, revise := ad.Reprice(ro)
+				if revise {
+					checkDecision(t, name, d2)
+				}
+			}
+		}
+	})
+}

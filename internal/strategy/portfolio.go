@@ -1,0 +1,68 @@
+package strategy
+
+// A portfolio bidder after Zhang, Ghosh and Aggarwal's tranche-based
+// cost engines (2018): instead of betting the whole job on one spot
+// request, the job is split into a spot tranche priced at the Prop. 5
+// optimum and an on-demand tranche that caps the tail. The spot
+// weight is chosen so the expected completion time of the sequential
+// split stays within a deadline factor D of the execution time:
+//
+//	w·ratio + (1−w) ≤ D,  ratio = E[completion]/t_s at the spot bid
+//	⇒ w = min(1, (D−1)/(ratio−1))
+//
+// A slow market (large ratio) shrinks the spot tranche; a market
+// where the optimum barely idles (ratio ≤ D) keeps the whole job on
+// spot. Degenerate splits collapse: a spot tranche too small to
+// amortize its recovery surcharge abandons spot entirely.
+
+import (
+	"errors"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+// Portfolio is the spot+on-demand tranche bidder.
+type Portfolio struct {
+	// Deadline is the completion budget as a multiple of the job's
+	// execution time (default 2: finish within twice t_s).
+	Deadline float64
+}
+
+// Name implements Strategy.
+func (Portfolio) Name() string { return "portfolio" }
+
+// Decide implements Strategy.
+func (pf Portfolio) Decide(o Observation) (Decision, error) {
+	deadline := pf.Deadline
+	if !(deadline > 1) {
+		deadline = 2
+	}
+	bid, err := o.Market.PersistentBid(o.Job)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			// Eq. 14 admits no spot tranche at all: the whole job is
+			// the on-demand tranche.
+			return Decision{Abstain: true}, nil
+		}
+		return Decision{}, err
+	}
+	w := 1.0
+	if ratio := float64(bid.ExpectedCompletion) / float64(o.Job.Exec); ratio > deadline {
+		w = (deadline - 1) / (ratio - 1)
+	}
+	w = clamp(w, 0, 1)
+	// A spot tranche that cannot outrun its own recovery surcharge —
+	// or a split so lopsided it degenerates — collapses to the pure
+	// strategy on either side.
+	if w < 1e-3 || float64(o.Job.Exec)*w <= float64(o.Job.Recovery) {
+		return Decision{Abstain: true}, nil
+	}
+	if w > 1-1e-3 {
+		return Decision{Price: bid.Price, Kind: cloud.Persistent, Analytic: bid}, nil
+	}
+	return Decision{Tranches: []Tranche{
+		{Weight: w, Price: bid.Price, Kind: cloud.Persistent, Analytic: bid},
+		{Weight: 1 - w, Abstain: true},
+	}}, nil
+}

@@ -1,0 +1,112 @@
+package strategy
+
+// Property tests for the heuristic bidders (seeded, deterministic):
+// the PID bid can never leave [floor, on-demand] no matter what price
+// trace drives it, and portfolio tranche weights are always positive
+// and sum to 1.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+// randomMarket builds a valid empirical market from seeded noise:
+// positive prices, a ceiling strictly above the support floor.
+func randomMarket(t *testing.T, r *rand.Rand) core.Market {
+	t.Helper()
+	n := 50 + r.Intn(400)
+	prices := make([]float64, n)
+	base := 0.001 + r.Float64()*0.5
+	for i := range prices {
+		prices[i] = base * (0.5 + r.Float64()*2)
+	}
+	e, err := dist.NewEmpirical(prices, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-demand anywhere from just above the support to far above it.
+	od := e.Support().Hi * (1.01 + r.Float64()*10)
+	return core.Market{Price: e, OnDemand: od}
+}
+
+func randomJob(r *rand.Rand) core.Job {
+	exec := timeslot.Hours(0.25 + r.Float64()*8)
+	return core.Job{Exec: exec, Recovery: exec * timeslot.Hours(r.Float64()*0.9)}
+}
+
+func TestPIDBidBoundsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		m := randomMarket(t, r)
+		lo, hi := bounds(m)
+		o := Observation{Market: m, Job: randomJob(r)}
+		p := &PID{}
+		d, err := p.Decide(o)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		check := func(price float64, step int) {
+			if math.IsNaN(price) || price < lo-1e-12 || price > hi+1e-12 {
+				t.Fatalf("trial %d step %d: bid %v outside [%v, %v]", trial, step, price, lo, hi)
+			}
+		}
+		check(d.Price, -1)
+		// Drive the controller with an adversarial price trace: calm,
+		// spikes far above on-demand, crashes to zero, and NaN reads.
+		for step := 0; step < 100; step++ {
+			spot := 0.0
+			switch r.Intn(5) {
+			case 0:
+				spot = m.OnDemand * 100 * r.Float64() // absurd spike
+			case 1:
+				spot = 0 // crash
+			case 2:
+				spot = math.NaN() // corrupted read
+			default:
+				spot = lo + r.Float64()*(hi-lo)
+			}
+			o.Spot = spot
+			o.OnSpot = r.Intn(2) == 0
+			o.IdleSlots = r.Intn(8)
+			d2, revise := p.Reprice(o)
+			check(p.bid, step)
+			if revise {
+				check(d2.Price, step)
+			}
+		}
+	}
+}
+
+func TestPortfolioWeightsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	deadlines := []float64{0, 1.01, 1.1, 1.5, 2, 5}
+	for trial := 0; trial < 300; trial++ {
+		o := Observation{Market: randomMarket(t, r), Job: randomJob(r)}
+		pf := Portfolio{Deadline: deadlines[r.Intn(len(deadlines))]}
+		d, err := pf.Decide(o)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(d.Tranches) == 0 {
+			continue // pure spot or pure on-demand: nothing to check
+		}
+		sum := 0.0
+		for i, tr := range d.Tranches {
+			if math.IsNaN(tr.Weight) || tr.Weight <= 0 {
+				t.Fatalf("trial %d tranche %d: weight %v", trial, i, tr.Weight)
+			}
+			if !tr.Abstain && (math.IsNaN(tr.Price) || tr.Price < 0) {
+				t.Fatalf("trial %d tranche %d: price %v", trial, i, tr.Price)
+			}
+			sum += tr.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: weights sum to %v", trial, sum)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package strategy is the pluggable bidding-strategy engine: the
+// Strategy interface internal/client delegates its pricing path to,
+// the decision vocabulary (bid a price, split the job into tranches,
+// switch instance class, or abstain to on-demand), and a registry of
+// contenders — the paper's optimal bids (Prop. 4 one-time, Prop. 5
+// persistent) next to the heuristics real cost engines use: the
+// empirical-percentile baseline, the best-offline oracle, a PID
+// feedback-control bidder (Li–Kihl–Robertsson 2017), a portfolio
+// bidder splitting work across spot and on-demand tranches
+// (Zhang–Ghosh–Aggarwal 2018), and an AutoSpotting-style
+// opportunistic-replace heuristic.
+//
+// Strategies are pure deciders: they never touch the simulator
+// directly. The client builds an Observation from its market view and
+// the run's live state, and executes whatever Decision comes back —
+// so every contender inherits the client's full resilience runtime
+// (retry budgets, fallback playbook, flight recorder) for free, and
+// experiments.Tournament can race all of them under the chaos grid
+// and the invariant checkers.
+package strategy
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/instances"
+	"repro/internal/timeslot"
+)
+
+// Observation is the market state a strategy decides from.
+type Observation struct {
+	// Market is the bid calculator's view of the job's instance type:
+	// the F_π estimate from the price monitor plus the on-demand
+	// ceiling. Repriced (Adaptive) decisions see the SAME market as
+	// the initial decision — rebuilding the ECDF every slot would be
+	// prohibitively expensive and would perturb chaos fault draws —
+	// with only Spot tracking the live price.
+	Market core.Market
+	// Job is the remaining work: Exec is what is still owed (the
+	// whole job at the initial decision), Recovery the
+	// per-interruption recovery surcharge t_r.
+	Job core.Job
+	// Slot is the region's current slot index.
+	Slot int
+	// Spot is the current spot price of the job's instance type
+	// (0 when unknown).
+	Spot float64
+	// Leg indexes the adaptive leg, 0 at the initial decision.
+	Leg int
+	// IdleSlots counts consecutive slots the current leg has sat
+	// Pending/Idle (0 while running and at the initial decision).
+	IdleSlots int
+	// OnSpot reports whether the current leg holds a spot request
+	// (false at the initial decision and on on-demand legs).
+	OnSpot bool
+	// BestOffline computes the §7.1 retrospective-optimum fixed bid
+	// over the given lookback window. Nil outside a client run.
+	BestOffline func(lookback timeslot.Hours) (float64, error)
+	// MarketFor builds the market view of another instance type, for
+	// strategies that switch classes. Nil outside a client run.
+	MarketFor func(t instances.Type) (core.Market, error)
+}
+
+// Tranche is one slice of a split job.
+type Tranche struct {
+	// Weight is the fraction of the job's execution time this
+	// tranche covers. Weights are positive and sum to 1.
+	Weight float64
+	// Abstain runs the tranche on-demand; Price/Kind/Analytic are
+	// ignored.
+	Abstain bool
+	// Price is the tranche's bid in USD per instance-hour.
+	Price float64
+	// Kind selects the spot request type.
+	Kind cloud.RequestKind
+	// Analytic carries the model predictions at Price.
+	Analytic core.Bid
+}
+
+// Decision is a strategy's answer: bid a price, split into tranches,
+// switch instance class, or abstain to on-demand.
+type Decision struct {
+	// Abstain runs the job on-demand — no bid at all.
+	Abstain bool
+	// Price is the bid in USD per instance-hour.
+	Price float64
+	// Kind selects one-time vs persistent spot requests.
+	Kind cloud.RequestKind
+	// Type, when non-empty, runs the job on a different instance
+	// class than the spec's. The strategy must have priced it from
+	// Observation.MarketFor(Type).
+	Type instances.Type
+	// Analytic carries the model predictions at Price (zero when the
+	// strategy has none).
+	Analytic core.Bid
+	// Tranches, when non-empty, splits the job across sequential
+	// slices — e.g. a spot tranche hedged by an on-demand tranche.
+	// The top-level Abstain/Price/Kind are ignored.
+	Tranches []Tranche
+}
+
+// Strategy observes market state and returns a bid decision. Decide
+// is called once per job at submission; stateful strategies get a
+// fresh instance per run from the registry's factory.
+type Strategy interface {
+	// Name is the strategy's stable identifier (report and league-
+	// table key).
+	Name() string
+	// Decide prices the job from the initial observation.
+	Decide(o Observation) (Decision, error)
+}
+
+// Adaptive strategies keep watching the market while the job runs:
+// Reprice is consulted once per slot, and returning revise=true makes
+// the client release the current leg (cancel the spot request or
+// terminate the on-demand instance) and resubmit the remainder under
+// the new decision.
+type Adaptive interface {
+	Strategy
+	Reprice(o Observation) (Decision, bool)
+}
+
+// Eval computes the analytic Bid fields for an arbitrary price —
+// the client's historical evaluation semantics: a persistent bid
+// infeasible under Eq. 14 reports the raw price with no predictions
+// rather than refusing to run (only ErrInfeasible is swallowed), a
+// one-time bid evaluates Prop. 4's closed form.
+func Eval(m core.Market, j core.Job, price float64, kind cloud.RequestKind) (core.Bid, error) {
+	if kind == cloud.Persistent {
+		b, err := m.EvalPersistent(price, j)
+		switch {
+		case err == nil:
+			return b, nil
+		case errors.Is(err, core.ErrInfeasible):
+			return core.Bid{Price: price}, nil
+		default:
+			return core.Bid{}, err
+		}
+	}
+	return m.EvalOneTime(price, j)
+}
+
+// evalLenient is Eval for mid-run repricing, where an evaluation
+// error must not abort the job: it degrades to the bare price.
+func evalLenient(m core.Market, j core.Job, price float64, kind cloud.RequestKind) core.Bid {
+	b, err := Eval(m, j, price, kind)
+	if err != nil {
+		return core.Bid{Price: price}
+	}
+	return b
+}
+
+// bounds returns the market's [floor, ceiling] bid interval with the
+// same defaulting as core's normalization: a zero MinPrice means the
+// bottom of the price support. Degenerate inputs (NaN, negative
+// floor, ceiling below floor) collapse to a safe empty-ish interval
+// so heuristic bidders never emit NaN or negative bids.
+func bounds(m core.Market) (lo, hi float64) {
+	lo = m.MinPrice
+	if lo == 0 && m.Price != nil {
+		lo = m.Price.Support().Lo
+	}
+	if math.IsNaN(lo) || lo < 0 {
+		lo = 0
+	}
+	hi = m.OnDemand
+	if math.IsNaN(hi) || hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// clamp bounds x to [lo, hi], mapping NaN to lo.
+func clamp(x, lo, hi float64) float64 {
+	if hi < lo {
+		hi = lo
+	}
+	if math.IsNaN(x) || x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

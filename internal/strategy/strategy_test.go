@@ -1,0 +1,339 @@
+package strategy
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+// testMarket builds a small empirical market: prices clustered near
+// 0.03 with a tail, on-demand at 0.35 — the r3.xlarge shape.
+func testMarket(t *testing.T) core.Market {
+	t.Helper()
+	prices := make([]float64, 0, 400)
+	for i := 0; i < 360; i++ {
+		prices = append(prices, 0.028+0.00002*float64(i))
+	}
+	for i := 0; i < 40; i++ {
+		prices = append(prices, 0.05+0.005*float64(i))
+	}
+	e, err := dist.NewEmpirical(prices, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Market{Price: e, OnDemand: 0.35}
+}
+
+func testJob() core.Job { return core.Job{Exec: 1, Recovery: timeslot.Seconds(30)} }
+
+func obsFor(t *testing.T) Observation {
+	return Observation{Market: testMarket(t), Job: testJob(), Spot: 0.03}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("registry holds %d strategies, the tournament needs ≥ 7: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	for _, name := range names {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) missing", name)
+		}
+	}
+	// Stateful strategies must come out fresh each time.
+	a, _ := New("pid")
+	b, _ := New("pid")
+	if a.(*PID) == b.(*PID) {
+		t.Error("New(pid) returned a shared instance")
+	}
+	if _, err := New("nope"); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("New(nope) err = %v", err)
+	}
+	// The paper-optimal completion semantics drive the liveness audit.
+	for name, want := range map[string]bool{
+		"one-time": false, "best-offline": false,
+		"persistent": true, "on-demand": true, "pid": true,
+	} {
+		if info, _ := Lookup(name); info.GuaranteesCompletion != want {
+			t.Errorf("%s.GuaranteesCompletion = %v, want %v", name, info.GuaranteesCompletion, want)
+		}
+	}
+}
+
+func TestIncumbentDecisions(t *testing.T) {
+	o := obsFor(t)
+	lo, hi := bounds(o.Market)
+
+	for _, tc := range []struct {
+		s    Strategy
+		kind cloud.RequestKind
+	}{
+		{OneTime{}, cloud.OneTime},
+		{Persistent{}, cloud.Persistent},
+		{Percentile{Q: 90, Kind: cloud.Persistent}, cloud.Persistent},
+	} {
+		d, err := tc.s.Decide(o)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.s.Name(), err)
+		}
+		if d.Abstain || len(d.Tranches) > 0 {
+			t.Errorf("%s: wanted a plain bid, got %+v", tc.s.Name(), d)
+		}
+		if d.Kind != tc.kind {
+			t.Errorf("%s: kind = %v, want %v", tc.s.Name(), d.Kind, tc.kind)
+		}
+		if d.Price < lo || d.Price > hi {
+			t.Errorf("%s: bid %v outside [%v, %v]", tc.s.Name(), d.Price, lo, hi)
+		}
+		if d.Analytic.Price != d.Price {
+			t.Errorf("%s: analytic price %v != bid %v", tc.s.Name(), d.Analytic.Price, d.Price)
+		}
+	}
+
+	if d, err := (OnDemand{}).Decide(o); err != nil || !d.Abstain {
+		t.Errorf("on-demand: d=%+v err=%v", d, err)
+	}
+
+	// Best-offline consumes the client's history hook.
+	if _, err := (BestOffline{}).Decide(o); err == nil {
+		t.Error("best-offline without a hook should fail")
+	}
+	var gotLookback timeslot.Hours
+	o2 := o
+	o2.BestOffline = func(lb timeslot.Hours) (float64, error) {
+		gotLookback = lb
+		return 0.031, nil
+	}
+	d, err := (BestOffline{}).Decide(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLookback != 10 {
+		t.Errorf("default lookback = %v, want 10h", float64(gotLookback))
+	}
+	if d.Kind != cloud.OneTime || d.Price != 0.031 {
+		t.Errorf("best-offline decision: %+v", d)
+	}
+}
+
+func TestPercentileName(t *testing.T) {
+	if got := (Percentile{Q: 90}).Name(); got != "percentile-90" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (FixedBid{}).Name(); got != "fixed-bid" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (FixedBid{Label: "best-offline"}).Name(); got != "best-offline" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestEvalSwallowsOnlyInfeasible(t *testing.T) {
+	m := testMarket(t)
+	j := testJob()
+	// A persistent bid below the support is infeasible under Eq. 14:
+	// Eval reports the bare price instead of failing.
+	b, err := Eval(m, j, 0.001, cloud.Persistent)
+	if err != nil {
+		t.Fatalf("infeasible persistent price: %v", err)
+	}
+	if b.Price != 0.001 || b.ExpectedCost != 0 {
+		t.Errorf("infeasible eval = %+v", b)
+	}
+	// A broken market is a real error.
+	if _, err := Eval(core.Market{}, j, 0.03, cloud.Persistent); err == nil {
+		t.Error("nil-price market should fail")
+	}
+	if _, err := Eval(m, core.Job{}, 0.03, cloud.OneTime); err == nil {
+		t.Error("invalid job should fail for one-time eval")
+	}
+}
+
+func TestPIDDecideAndConvergence(t *testing.T) {
+	o := obsFor(t)
+	lo, hi := bounds(o.Market)
+	p := &PID{}
+	d, err := p.Decide(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != cloud.Persistent || d.Price < lo || d.Price > hi {
+		t.Errorf("initial decision: %+v", d)
+	}
+	// A spot spike above the bid must pull the bid up; the setpoint
+	// includes headroom, so the bid keeps climbing while out-bid.
+	start := d.Price
+	spike := o
+	spike.Spot = 2 * start
+	spike.OnSpot = true
+	for i := 0; i < 3; i++ {
+		spike.IdleSlots = i
+		if _, revise := p.Reprice(spike); revise {
+			t.Fatalf("revised before patience at idle=%d", i)
+		}
+	}
+	spike.IdleSlots = 3
+	d2, revise := p.Reprice(spike)
+	if !revise {
+		t.Fatal("no revision at patience")
+	}
+	if d2.Price <= start {
+		t.Errorf("bid did not climb: %v -> %v", start, d2.Price)
+	}
+	if d2.Price > hi {
+		t.Errorf("bid %v above ceiling %v", d2.Price, hi)
+	}
+	// Never revise while the leg is running or off spot.
+	run := spike
+	run.IdleSlots = 0
+	if _, revise := p.Reprice(run); revise {
+		t.Error("revised while running")
+	}
+	od := spike
+	od.OnSpot = false
+	od.IdleSlots = 99
+	if _, revise := p.Reprice(od); revise {
+		t.Error("revised an on-demand leg")
+	}
+}
+
+func TestPortfolioSplit(t *testing.T) {
+	o := obsFor(t)
+	bid, err := o.Market.PersistentBid(o.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bid.ExpectedCompletion) / float64(o.Job.Exec)
+	if ratio <= 1 {
+		t.Skipf("optimum never idles (ratio %v); cannot exercise the split", ratio)
+	}
+	// A deadline looser than the optimum's expected completion keeps
+	// the whole job on spot.
+	d, err := Portfolio{Deadline: ratio + 1}.Decide(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Abstain || len(d.Tranches) != 0 {
+		t.Fatalf("wanted pure spot under a loose deadline (ratio %v), got %+v", ratio, d)
+	}
+	// A deadline halfway into the idle budget forces a genuine split
+	// with w ≈ 0.5.
+	d, err = Portfolio{Deadline: 1 + (ratio-1)/2}.Decide(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tranches) != 2 {
+		t.Fatalf("wanted a 2-tranche split at ratio %v, got %+v", ratio, d)
+	}
+	sum := 0.0
+	for _, tr := range d.Tranches {
+		if tr.Weight <= 0 {
+			t.Errorf("non-positive tranche weight %v", tr.Weight)
+		}
+		sum += tr.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("tranche weights sum to %v", sum)
+	}
+	if d.Tranches[0].Abstain || d.Tranches[0].Kind != cloud.Persistent {
+		t.Errorf("first tranche should be persistent spot: %+v", d.Tranches[0])
+	}
+	if !d.Tranches[1].Abstain {
+		t.Errorf("second tranche should be on-demand: %+v", d.Tranches[1])
+	}
+
+	// Eq. 14-infeasible market: a long recovery demands a very high
+	// acceptance probability, but the feasibility quantile sits above
+	// the on-demand ceiling — no bid up to π̄ qualifies, so the whole
+	// job collapses to the on-demand tranche.
+	tail := make([]float64, 100)
+	for i := range tail {
+		tail[i] = 0.3
+		if i >= 70 {
+			tail[i] = 2.0
+		}
+	}
+	e, err := dist.NewEmpirical(tail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Observation{
+		Market: core.Market{Price: e, OnDemand: 0.35},
+		Job:    core.Job{Exec: 2, Recovery: 1},
+	}
+	if _, err := bad.Market.PersistentBid(bad.Job); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("crafted market should be Eq. 14-infeasible, got %v", err)
+	}
+	d, err = Portfolio{}.Decide(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Abstain {
+		t.Errorf("infeasible market should abstain, got %+v", d)
+	}
+}
+
+func TestAutoSpotReplaceAndAttrition(t *testing.T) {
+	o := obsFor(t)
+	a := &AutoSpot{}
+	d, err := a.Decide(o)
+	if err != nil || !d.Abstain {
+		t.Fatalf("first leg should be on-demand: %+v err=%v", d, err)
+	}
+	// Expensive spot: no replacement, streak stays broken.
+	exp := o
+	exp.Spot = 0.30
+	for i := 0; i < 20; i++ {
+		if _, revise := a.Reprice(exp); revise {
+			t.Fatal("replaced at an expensive spot price")
+		}
+	}
+	// A sustained discount triggers the replacement at the od bid.
+	cheap := o
+	cheap.Spot = 0.03 // ≪ (1−0.30)·0.35
+	var replaced bool
+	var d2 Decision
+	for i := 0; i < 6; i++ {
+		d2, replaced = a.Reprice(cheap)
+		if replaced && i < 5 {
+			t.Fatalf("replaced after %d cheap slots, patience is 6", i+1)
+		}
+	}
+	if !replaced {
+		t.Fatal("no replacement after a full patience streak")
+	}
+	if d2.Abstain || d2.Kind != cloud.Persistent || d2.Price != o.Market.OnDemand {
+		t.Errorf("replacement decision: %+v", d2)
+	}
+	// On spot and idle past attrition: fall back to on-demand.
+	spot := o
+	spot.OnSpot = true
+	spot.IdleSlots = 12
+	d3, revise := a.Reprice(spot)
+	if !revise || !d3.Abstain {
+		t.Errorf("attrition fallback: %+v revise=%v", d3, revise)
+	}
+	// Under the attrition window the leg is left alone.
+	spot.IdleSlots = 11
+	if _, revise := a.Reprice(spot); revise {
+		t.Error("fell back before the attrition window")
+	}
+}

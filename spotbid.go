@@ -20,6 +20,8 @@
 //   - internal/job       — single-instance job execution and billing
 //   - internal/mapreduce — the master/slave MapReduce engine
 //   - internal/client    — the Fig. 1 bidding client
+//   - internal/strategy  — the pluggable bidding-strategy engine the
+//     client delegates to (incumbents + contenders, one registry)
 //   - internal/experiments — regeneration of every table and figure
 //
 // # Quickstart
@@ -51,6 +53,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/obs/event"
 	"repro/internal/retry"
+	"repro/internal/strategy"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 	"repro/internal/workflow"
@@ -381,6 +384,62 @@ type (
 
 // NewClient builds a client for a region.
 var NewClient = client.New
+
+// The pluggable bidding-strategy engine (see internal/strategy): the
+// Strategy interface the client delegates every bid decision to, the
+// registered incumbents and contenders, and the registry. Run one with
+// Client.RunStrategy.
+type (
+	// Strategy decides how a job is run; AdaptiveStrategy additionally
+	// revises its decision mid-run (Reprice).
+	Strategy         = strategy.Strategy
+	AdaptiveStrategy = strategy.Adaptive
+	// StrategyObservation is the market/job snapshot a strategy sees;
+	// StrategyDecision its verdict; StrategyTranche one slice of a
+	// split decision; StrategyInfo the registry metadata.
+	StrategyObservation = strategy.Observation
+	StrategyDecision    = strategy.Decision
+	StrategyTranche     = strategy.Tranche
+	StrategyInfo        = strategy.Info
+	// The concrete strategies: the paper's Prop. 4 / Prop. 5 optima,
+	// the empirical-percentile and fixed-bid baselines, the hindsight
+	// oracle, the on-demand control, and the three contenders — a PID
+	// price-tracking controller, a spot+on-demand portfolio splitter,
+	// and an AutoSpotting-style opportunistic replacer.
+	OneTimeStrategy     = strategy.OneTime
+	PersistentStrategy  = strategy.Persistent
+	PercentileStrategy  = strategy.Percentile
+	FixedBidStrategy    = strategy.FixedBid
+	BestOfflineStrategy = strategy.BestOffline
+	OnDemandStrategy    = strategy.OnDemand
+	PIDStrategy         = strategy.PID
+	PortfolioStrategy   = strategy.Portfolio
+	AutoSpotStrategy    = strategy.AutoSpot
+)
+
+// Strategy registry access: construct a registered strategy by name,
+// list the league, look up metadata, register a custom contender.
+var (
+	NewStrategy      = strategy.New
+	StrategyNames    = strategy.Names
+	LookupStrategy   = strategy.Lookup
+	RegisterStrategy = strategy.Register
+)
+
+// The strategy tournament (see internal/experiments): every registered
+// strategy raced across the chaos grid, each cell audited by the
+// invariant suite and replay-verified, ranked into a league table.
+type (
+	// ExperimentOpts parameterizes the experiment sweeps (seed, runs,
+	// optional metrics registry and flight recorder).
+	ExperimentOpts   = experiments.Opts
+	TournamentResult = experiments.TournamentResult
+	TournamentRow    = experiments.TournamentRow
+	TournamentCell   = experiments.TournamentCell
+)
+
+// Tournament runs the strategy league.
+var Tournament = experiments.Tournament
 
 // The multi-region fleet controller (see internal/fleet): supervised
 // clients across regions with circuit breakers, checkpoint migration,
