@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core perfgate resilcheck trace-demo
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core bench-serve perfgate resilcheck trace-demo serve-demo
 
 all: check
 
@@ -29,7 +29,7 @@ race-obs:
 		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
 		./internal/market/ ./internal/fleet/ ./internal/trace/ \
 		./internal/dist/ ./internal/experiments/ ./internal/chaos/ \
-		./internal/invariant/ ./internal/strategy/
+		./internal/invariant/ ./internal/strategy/ ./internal/serve/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
@@ -44,12 +44,14 @@ no-wallclock:
 check: vet no-wallclock race-obs race shuffle perfgate resilcheck
 
 # Short fuzz pass over both history-parser targets, the
-# fault-schedule shrinker, and the strategy deciders.
+# fault-schedule shrinker, the strategy deciders, and the quote-request
+# decoder + serving path.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/invariant/
 	$(GO) test -fuzz=FuzzStrategyDecision -fuzztime=30s ./internal/strategy/
+	$(GO) test -fuzz=FuzzQuoteRequest -fuzztime=30s ./internal/serve/
 
 # Resilience smoke campaign (deterministic seed): the full default
 # fault-schedule grid plus random schedules under all five invariant
@@ -63,9 +65,16 @@ bench:
 
 # Instrumented-vs-Noop overhead record (JSON): micro hot paths plus
 # the end-to-end Table 3 pairs (metrics and tracing), whose overhead
-# budget is < 5%.
+# budget is < 5%. Also refreshes the serving hot-path record.
 bench-json:
 	$(GO) run ./cmd/obsbench -out BENCH_obs.json
+	$(GO) run ./cmd/servebench -out BENCH_serve.json
+
+# Serving hot-path record (JSON): quotes/sec, sampled p99 latency, and
+# allocs/op per quote branch. The committed BENCH_serve.json is the
+# 0-alloc contract scripts/perfgate.sh enforces.
+bench-serve:
+	$(GO) run ./cmd/servebench -out BENCH_serve.json
 
 # Hot-path before/after record (JSON): the incremental windowed ECDF
 # vs the legacy per-slot rebuild, and the trace memo vs regeneration,
@@ -75,7 +84,8 @@ bench-core:
 	$(GO) run ./cmd/corebench -out BENCH_core.json
 
 # Ratio-based perf regression gate against the committed
-# BENCH_core.json; part of `make check`.
+# BENCH_core.json plus the 0-alloc serving gate against
+# BENCH_serve.json; part of `make check`.
 perfgate:
 	sh scripts/perfgate.sh
 
@@ -83,3 +93,9 @@ perfgate:
 # stdout; see examples/flightrecorder for the Perfetto export flags.
 trace-demo:
 	$(GO) run ./examples/flightrecorder
+
+# Bid-advisory daemon demo: one slot per second (300x compression),
+# quotes on http://localhost:8372/v1/quote; ^C drains gracefully. See
+# the README serving quickstart for curl examples.
+serve-demo:
+	$(GO) run ./cmd/spotbidd -addr :8372 -accel 300

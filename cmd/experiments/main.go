@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,7 +26,7 @@ func main() {
 	var (
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		runs        = flag.Int("runs", 10, "repetitions per configuration (the paper uses 10)")
-		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,tournament,failover,ablations")
+		only        = flag.String("only", "", "comma-separated subset: fig3,table3,fig4,fig5,fig6,mapreduce,stability,forecast,chaos,tournament,failover,serve,ablations")
 		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the experiments")
 		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON instead of a table (implies -metrics)")
 		traceOn     = flag.Bool("trace", false, "record a flight-recorder event trace of run 0 of each sweep cell")
@@ -40,6 +42,20 @@ func main() {
 		// Unbounded: an experiment export wants the whole stream, not
 		// the flight recorder's overwrite-oldest window.
 		opts.Trace = event.NewRecorder(event.Config{Unbounded: true})
+	}
+
+	// Interrupt-safe metrics flush: a metered run that is cut short
+	// (^C on a long sweep) still reports everything aggregated so far
+	// before exiting, instead of dropping the whole snapshot.
+	if opts.Metrics != nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "\n== Metrics (interrupted by %v, partial)\n\n%s\n",
+				s, opts.Metrics.Snapshot().Render())
+			os.Exit(130)
+		}()
 	}
 
 	want := map[string]bool{}
@@ -107,6 +123,11 @@ func main() {
 	if sel("failover") {
 		section("Failover — multi-region fleet vs home-region outages", func() (interface{ Render() string }, error) {
 			return experiments.FailoverSweep(opts)
+		})
+	}
+	if sel("serve") {
+		section("Serving — control-plane chaos drill (degrade, shed, recover)", func() (interface{ Render() string }, error) {
+			return experiments.ServeDrillRun(opts)
 		})
 	}
 	if sel("ablations") {

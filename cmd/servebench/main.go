@@ -1,0 +1,246 @@
+// Command servebench measures the bid-advisory serving hot path and
+// records the result in a JSON file (default BENCH_serve.json) so
+// `make bench-json` leaves a committed record and `make check` (via
+// scripts/perfgate.sh) can hold the quote path to its contract.
+//
+// The contract is allocation-based and therefore machine-independent:
+// Server.Quote — one atomic table load, a grid resolve, an audit
+// append — must allocate nothing, in every decision branch that can
+// run hot (served one-time, served persistent, Eq. 14 refusal,
+// admission shed). -gate re-measures quickly and fails if any
+// serve.quote_* benchmark allocates, or if the committed record ever
+// claimed an allocation. Throughput (quotes/sec) and the sampled p99
+// latency are recorded for trend-watching but not gated: they are
+// machine-dependent.
+//
+// Usage:
+//
+//	servebench -out BENCH_serve.json          # full measurement
+//	servebench -quick -gate BENCH_serve.json  # CI regression gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/instances"
+	"repro/internal/serve"
+)
+
+// Result is one benchmark measurement (fastest of -reps).
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Singles []Result `json:"singles"`
+	// QuotesPerSec is the served-one-time throughput implied by the
+	// fastest rep.
+	QuotesPerSec float64 `json:"quotes_per_sec"`
+	// P99Micros is the 99th-percentile latency of a single served
+	// quote, sampled with a wall clock around individual calls.
+	P99Micros float64 `json:"p99_micros"`
+	// P99Samples is how many calls the percentile was taken over.
+	P99Samples int `json:"p99_samples"`
+}
+
+var (
+	quick = flag.Bool("quick", false, "fewer reps and samples (CI mode)")
+	reps  = flag.Int("reps", 5, "repetitions per benchmark (fastest wins)")
+	out   = flag.String("out", "BENCH_serve.json", "write the report here ('-' for stdout)")
+	gate  = flag.String("gate", "", "gate mode: check a fresh quick measurement against this committed report")
+)
+
+// benchServer builds a warmed single-market server: a full window of
+// synthetic sub-ceiling prices, one table built and fresh forever,
+// admission unlimited (admission is benchmarked via its own branch,
+// not by starving the others).
+func benchServer() (*serve.Server, error) {
+	srv, err := serve.New(serve.Config{
+		Types:         []instances.Type{instances.R3XLarge},
+		WindowSlots:   288,
+		MinSamples:    48,
+		RebuildEvery:  1,
+		FreshForSlots: 1 << 30,
+		StaleForSlots: 1 << 31,
+		Admission: serve.AdmitConfig{
+			Burst: [serve.NumClasses]float64{1 << 40, 1 << 40, 1 << 40},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	key := srv.Keys()[0]
+	for slot := 0; slot < 288; slot++ {
+		srv.SetSlot(slot)
+		if err := srv.Ingest(key, slot, 0.05+0.001*float64(slot%7)); err != nil {
+			return nil, err
+		}
+	}
+	srv.MaybeRebuild(287)
+	if srv.Table(key) == nil {
+		return nil, fmt.Errorf("bench server failed to build a table")
+	}
+	return srv, nil
+}
+
+// benchRequests are the hot branches under measurement. The shed
+// request uses a dead-on-arrival deadline so it exits through the
+// deadline-shed branch without consuming tokens.
+func benchRequests() map[string]serve.QuoteRequest {
+	return map[string]serve.QuoteRequest{
+		"serve.quote_onetime": {
+			Type: instances.R3XLarge, ExecHours: 4, NowMicros: 1,
+		},
+		"serve.quote_persistent": {
+			Type: instances.R3XLarge, ExecHours: 12, RecoverySeconds: 600,
+			Class: serve.ClassBatch, NowMicros: 1,
+		},
+		"serve.quote_shed_deadline": {
+			Type: instances.R3XLarge, ExecHours: 4, NowMicros: 1,
+			DeadlineMicros: 2, // below MinServiceMicros away: shed, no token spent
+		},
+	}
+}
+
+func single(name string, srv *serve.Server, req serve.QuoteRequest, n int) Result {
+	res := Result{Name: name}
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				srv.Quote(req)
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < res.NsPerOp {
+			res.N = r.N
+			res.NsPerOp = ns
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+		}
+	}
+	return res
+}
+
+// p99 samples individual served calls with a wall clock. The timer
+// overhead (~tens of ns) is included; the number is a trend signal,
+// not a contract.
+func p99(srv *serve.Server, req serve.QuoteRequest, samples int) float64 {
+	lat := make([]int64, samples)
+	for i := range lat {
+		t0 := time.Now()
+		srv.Quote(req)
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return float64(lat[samples*99/100]) / 1e3
+}
+
+func measure() (Report, error) {
+	srv, err := benchServer()
+	if err != nil {
+		return Report{}, err
+	}
+	n, samples := *reps, 200_000
+	if *quick {
+		n, samples = 1, 20_000
+	}
+	reqs := benchRequests()
+	names := make([]string, 0, len(reqs))
+	for name := range reqs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep := Report{P99Samples: samples}
+	for _, name := range names {
+		rep.Singles = append(rep.Singles, single(name, srv, reqs[name], n))
+	}
+	for _, s := range rep.Singles {
+		if s.Name == "serve.quote_onetime" && s.NsPerOp > 0 {
+			rep.QuotesPerSec = 1e9 / s.NsPerOp
+		}
+	}
+	rep.P99Micros = p99(srv, reqs["serve.quote_onetime"], samples)
+	return rep, nil
+}
+
+// checkZeroAlloc enforces the hot-path contract on a report.
+func checkZeroAlloc(rep Report, label string) error {
+	var bad []string
+	for _, s := range rep.Singles {
+		if strings.HasPrefix(s.Name, "serve.quote_") && s.AllocsPerOp != 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op (%d B/op)", s.Name, s.AllocsPerOp, s.BytesPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%s violates the 0-alloc quote-path contract:\n  %s", label, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	flag.Parse()
+
+	if *gate != "" {
+		data, err := os.ReadFile(*gate)
+		if err != nil {
+			fatalf("reading committed report: %v (run 'make bench-json' and commit it)", err)
+		}
+		var committed Report
+		if err := json.Unmarshal(data, &committed); err != nil {
+			fatalf("parsing %s: %v", *gate, err)
+		}
+		if err := checkZeroAlloc(committed, *gate); err != nil {
+			fatalf("%v", err)
+		}
+		fresh, err := measure()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := checkZeroAlloc(fresh, "fresh measurement"); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("servebench gate OK: quote path allocation-free (fresh: %.0f quotes/sec, p99 %.1fµs; committed: %.0f quotes/sec)\n",
+			fresh.QuotesPerSec, fresh.P99Micros, committed.QuotesPerSec)
+		return
+	}
+
+	rep, err := measure()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := checkZeroAlloc(rep, "measurement"); err != nil {
+		fatalf("%v", err)
+	}
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	js = append(js, '\n')
+	if *out == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("servebench: %.0f quotes/sec, p99 %.1fµs, quote path 0 allocs/op → %s\n",
+		rep.QuotesPerSec, rep.P99Micros, *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,11 +7,15 @@ package spotbid_test
 // output-format regressions.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles ./cmd/<name> into a temp dir once per test.
@@ -163,6 +167,105 @@ func TestExperimentsCLI(t *testing.T) {
 	}
 	if strings.Contains(out, "DIVERGED") {
 		t.Errorf("tournament replay diverged:\n%s", out)
+	}
+}
+
+func TestSpotbiddCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "spotbidd")
+
+	// Port 0: the daemon reports the bound address on stderr.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-accel", "300", "-days", "3", "-warmup", "300")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line on stderr (scan error: %v)", sc.Err())
+	}
+	// Drain the rest of stderr in the background so the drain-time
+	// flush is captured (and the pipe never blocks the daemon).
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		rest <- b.String()
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, `"ready":true`) {
+		t.Errorf("readyz = %d %q", code, body)
+	}
+	code, body := get("/v1/quote?type=r3.xlarge&exec_hours=4&recovery_seconds=600&class=batch")
+	if code != 200 {
+		t.Fatalf("quote = %d %q", code, body)
+	}
+	for _, want := range []string{`"tier":"fresh"`, `"feasible":true`, `"price"`, `"table_version"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("quote body missing %q in:\n%s", want, body)
+		}
+	}
+	if code, body := get("/v1/quote?type=r3.xlarge&exec_hours=-1"); code != 400 || !strings.Contains(body, "rejected_invalid") {
+		t.Errorf("invalid quote = %d %q", code, body)
+	}
+	if code, body := get("/metricz"); code != 200 || !strings.Contains(body, "serve.outcome.served_fresh") {
+		t.Errorf("metricz = %d %q", code, body)
+	}
+
+	// SIGINT drains gracefully: ledger + metrics flushed, exit 0.
+	// Stderr must hit EOF before Wait — Wait closes the pipe and
+	// would race the reader out of the drain-time flush.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	var flush string
+	select {
+	case flush = <-rest:
+	case <-time.After(10 * time.Second):
+		t.Fatal("spotbidd did not exit within 10s of SIGINT")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("spotbidd exited non-zero after SIGINT: %v", err)
+	}
+	for _, want := range []string{"draining", "served_fresh=", "== Metrics", "serve.table_swaps", "bye"} {
+		if !strings.Contains(flush, want) {
+			t.Errorf("drain flush missing %q in:\n%s", want, flush)
+		}
 	}
 }
 

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+// Eq14Feasible reports whether any bid p ≤ ceiling can satisfy the
+// interruptibility constraint of Eq. 14,
+//
+//	t_r < t_k / (1 − F(p))  ⟺  F(p) > 1 − t_k/t_r,
+//
+// i.e. whether a persistent request with recovery time t_r makes
+// forward progress at all under the price distribution. F is
+// non-decreasing, so the constraint is satisfiable below the ceiling
+// exactly when it holds at the ceiling; the strict inequality matches
+// ExpectedRunningTime's divergence boundary (den = 0 is infeasible).
+//
+// A recovery no longer than the slot (t_r ≤ t_k) is always feasible:
+// even a request out-bid every slot re-earns its recovery within the
+// next slot. The serving layer uses this as the honest refusal test —
+// an infeasible (t_k, t_r, F_π) triple is refused in every staleness
+// tier rather than quoted with a diverging expected cost.
+func Eq14Feasible(price dist.Dist, slot, recovery timeslot.Hours, ceiling float64) bool {
+	if recovery <= slot {
+		return true
+	}
+	q := 1 - float64(slot)/float64(recovery)
+	return price.CDF(ceiling) > q
+}
+
+// FeasibleEq14 is Eq14Feasible against this market's normalized
+// parameters (ceiling π̄, slot t_k), with the job validated first.
+func (m Market) FeasibleEq14(job Job) (bool, error) {
+	mm, err := m.normalized()
+	if err != nil {
+		return false, err
+	}
+	if err := job.Validate(); err != nil {
+		return false, err
+	}
+	return Eq14Feasible(mm.Price, mm.Slot, job.Recovery, mm.OnDemand), nil
+}

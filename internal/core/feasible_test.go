@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/timeslot"
+)
+
+func TestEq14Feasible(t *testing.T) {
+	slot := timeslot.DefaultSlot // 1/12 h = 300 s
+	// Window entirely at or below the ceiling: F(π̄) = 1, every
+	// recovery is feasible.
+	low, err := dist.NewEmpirical([]float64{0.03, 0.04, 0.05, 0.06}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the window above the ceiling: F(π̄) = 0.5.
+	spiked, err := dist.NewEmpirical([]float64{0.03, 0.04, 0.6, 0.7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		price    dist.Dist
+		recovery timeslot.Hours
+		want     bool
+	}{
+		{"zero recovery", low, 0, true},
+		{"recovery equals slot", low, slot, true},
+		{"long recovery, clean market", low, 0.5, true},
+		// F(π̄) = 0.5 vs q = 1 − (1/12)/0.5 = 5/6: infeasible.
+		{"long recovery, spiked market", spiked, 0.5, false},
+		// q = 1 − (1/12)/0.1 = 1/6 < 0.5: still feasible.
+		{"short recovery, spiked market", spiked, 0.1, true},
+		// Exactly at the boundary F(π̄) = q: the strict inequality
+		// refuses (the Eq. 13 denominator is zero there).
+		{"boundary is infeasible", spiked, timeslot.Hours(2 * float64(slot)), false},
+	}
+	for _, c := range cases {
+		if got := Eq14Feasible(c.price, slot, c.recovery, 0.35); got != c.want {
+			t.Errorf("%s: Eq14Feasible = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// FeasibleEq14 must agree with PersistentBid's ErrInfeasible verdict:
+// feasible markets yield a bid, infeasible ones yield ErrInfeasible.
+func TestFeasibleEq14AgreesWithPersistentBid(t *testing.T) {
+	clean := make([]float64, 0, 200)
+	spiked := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		clean = append(clean, 0.03+float64(i%10)*0.002)
+		if i%2 == 0 {
+			spiked = append(spiked, 0.9) // above the 0.35 ceiling
+		} else {
+			spiked = append(spiked, 0.03)
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		prices []float64
+	}{{"clean", clean}, {"spiked", spiked}} {
+		e, err := dist.NewEmpirical(tc.prices, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Market{Price: e, OnDemand: 0.35}
+		job := Job{Exec: 1, Recovery: 0.5}
+		ok, err := m.FeasibleEq14(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bidErr := m.PersistentBid(job)
+		if ok != (bidErr == nil) {
+			t.Errorf("%s: FeasibleEq14 = %v but PersistentBid err = %v", tc.name, ok, bidErr)
+		}
+	}
+}

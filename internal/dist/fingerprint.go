@@ -1,0 +1,34 @@
+package dist
+
+import "math"
+
+// Fingerprint64 hashes a float64 series with FNV-1a over the IEEE-754
+// bit patterns, in order. It is the identity the serving layer stamps
+// on each quote-table version: two windows fingerprint equal exactly
+// when they hold bit-identical samples in the same order, so a table
+// version names the precise market snapshot it was computed from
+// (including the sign of -0 and any payload bits — cheaper and
+// stricter than comparing element-wise).
+func Fingerprint64(xs []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, x := range xs {
+		b := math.Float64bits(x)
+		for i := 0; i < 64; i += 8 {
+			h ^= (b >> i) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Fingerprint identifies the sorted sample backing this distribution.
+func (e *Empirical) Fingerprint() uint64 { return Fingerprint64(e.xs) }
+
+// Fingerprint identifies the current sorted window. Like the other
+// accessors it reflects the live samples; callers wanting a stable
+// identity take it at Snapshot time.
+func (w *WindowedECDF) Fingerprint() uint64 { return Fingerprint64(w.sorted[:w.n]) }

@@ -1,0 +1,310 @@
+package invariant
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// Serving invariants: the control plane's honesty guarantees turned
+// into machine checks over the audit stream the server writes for
+// every request. They are the serving-layer counterparts of the fleet
+// checkers in this package:
+//
+//   - table provenance: every served price names a table version that
+//     was actually published for that market, with the fingerprint it
+//     was built from, and versions never regress within the stream;
+//   - staleness honesty: within one (market, version) the implied
+//     build slot (slot − age) is constant, ages never shrink, and the
+//     tier reported matches the configured ladder thresholds;
+//   - deadline honesty: nothing is ever emitted past its deadline,
+//     and only served outcomes emit at all;
+//   - outcome conservation: the per-outcome ledger equals the audit
+//     stream's tally and sums to the total request count — no request
+//     vanishes, none is double-counted.
+//
+// The fifth serving invariant — drill replay determinism — compares
+// two whole audit exports and lives in CompareServeReplay.
+
+// ServeRunState is everything a Finish-time serving checker may
+// inspect: the ladder thresholds the server ran with, the final
+// conservation ledger, and the catalog of tables actually published
+// (keyIdx → version → fingerprint), gathered by the drill at swap
+// time.
+type ServeRunState struct {
+	FreshForSlots int
+	StaleForSlots int
+	Total         uint64
+	Counts        [serve.NumOutcomes]uint64
+	Published     map[int16]map[uint64]uint64
+}
+
+// ServeChecker is one streaming serving invariant: it observes the
+// audit records in sequence order, then the final state. Single-use.
+type ServeChecker interface {
+	Name() string
+	Observe(r serve.AuditRecord)
+	Finish(st *ServeRunState)
+	Violations() []Violation
+}
+
+// NewServeSuite builds the serving checkers for one drill run. They
+// are deliberately separate from NewSuite: fleet runs and serving
+// runs audit different streams.
+func NewServeSuite() []ServeChecker {
+	return []ServeChecker{
+		newProvenanceChecker(),
+		newStalenessChecker(),
+		newDeadlineChecker(),
+		newConservationChecker(),
+	}
+}
+
+// ServeCheckers lists every serving invariant the drill verifies,
+// including the run-pair replay check.
+func ServeCheckers() []string {
+	return []string{
+		"serve-provenance",
+		"serve-staleness",
+		"serve-deadline",
+		"serve-conservation",
+		"serve-replay",
+	}
+}
+
+// VerifyServe feeds the audit stream through every serving checker
+// and returns all violations in checker order.
+func VerifyServe(records []serve.AuditRecord, st *ServeRunState) []Violation {
+	suite := NewServeSuite()
+	for _, r := range records {
+		for _, c := range suite {
+			c.Observe(r)
+		}
+	}
+	var out []Violation
+	for _, c := range suite {
+		c.Finish(st)
+		out = append(out, c.Violations()...)
+	}
+	return out
+}
+
+// provenanceChecker: served prices come from identifiable, actually
+// published tables, and versions never regress per market.
+type provenanceChecker struct {
+	seen        []serve.AuditRecord // served records, for Finish-time catalog check
+	lastVersion map[int16]uint64
+	vs          []Violation
+}
+
+func newProvenanceChecker() *provenanceChecker {
+	return &provenanceChecker{lastVersion: map[int16]uint64{}}
+}
+
+func (c *provenanceChecker) Name() string { return "serve-provenance" }
+
+func (c *provenanceChecker) Observe(r serve.AuditRecord) {
+	if r.Version > 0 {
+		if last := c.lastVersion[r.KeyIdx]; r.Version < last {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d key %d: table version regressed %d → %d",
+					r.Seq, r.KeyIdx, last, r.Version)})
+		} else {
+			c.lastVersion[r.KeyIdx] = r.Version
+		}
+	}
+	if !r.Outcome.Served() {
+		return
+	}
+	if r.Version == 0 || r.Fingerprint == 0 {
+		c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+			Detail: fmt.Sprintf("seq %d: served price %v without table identity (version %d, fp %d)",
+				r.Seq, r.Price, r.Version, r.Fingerprint)})
+		return
+	}
+	c.seen = append(c.seen, r)
+}
+
+func (c *provenanceChecker) Finish(st *ServeRunState) {
+	if st.Published == nil {
+		return
+	}
+	for _, r := range c.seen {
+		fp, ok := st.Published[r.KeyIdx][r.Version]
+		if !ok {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d key %d: served from version %d, which was never published",
+					r.Seq, r.KeyIdx, r.Version)})
+		} else if fp != r.Fingerprint {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d key %d version %d: fingerprint %d does not match published %d",
+					r.Seq, r.KeyIdx, r.Version, r.Fingerprint, fp)})
+		}
+	}
+}
+
+func (c *provenanceChecker) Violations() []Violation { return c.vs }
+
+// stalenessChecker: slot − age is constant per (key, version) — the
+// age is an honest measure of one fixed build —, ages never shrink
+// within a version, and the reported tier matches the ladder.
+type stalenessChecker struct {
+	builtSlot map[[2]uint64]int64 // (keyIdx, version) → slot − age
+	lastAge   map[[2]uint64]int32
+	tiered    []serve.AuditRecord
+	vs        []Violation
+}
+
+func newStalenessChecker() *stalenessChecker {
+	return &stalenessChecker{builtSlot: map[[2]uint64]int64{}, lastAge: map[[2]uint64]int32{}}
+}
+
+func (c *stalenessChecker) Name() string { return "serve-staleness" }
+
+func (c *stalenessChecker) Observe(r serve.AuditRecord) {
+	if r.Version == 0 {
+		return // no table consulted
+	}
+	k := [2]uint64{uint64(uint16(r.KeyIdx)), r.Version}
+	implied := int64(r.Slot) - int64(r.AgeSlots)
+	if prev, ok := c.builtSlot[k]; !ok {
+		c.builtSlot[k] = implied
+	} else if prev != implied {
+		c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+			Detail: fmt.Sprintf("seq %d key %d version %d: implied build slot moved %d → %d",
+				r.Seq, r.KeyIdx, r.Version, prev, implied)})
+	}
+	if last, ok := c.lastAge[k]; ok && r.AgeSlots < last {
+		c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+			Detail: fmt.Sprintf("seq %d key %d version %d: staleness age shrank %d → %d",
+				r.Seq, r.KeyIdx, r.Version, last, r.AgeSlots)})
+	}
+	c.lastAge[k] = r.AgeSlots
+	switch r.Outcome {
+	case serve.OutcomeServedFresh, serve.OutcomeServedStale, serve.OutcomeRefusedStale:
+		c.tiered = append(c.tiered, r)
+	}
+}
+
+func (c *stalenessChecker) Finish(st *ServeRunState) {
+	for _, r := range c.tiered {
+		age := int(r.AgeSlots)
+		ok := true
+		switch r.Outcome {
+		case serve.OutcomeServedFresh:
+			ok = age <= st.FreshForSlots
+		case serve.OutcomeServedStale:
+			ok = age > st.FreshForSlots && age <= st.StaleForSlots
+		case serve.OutcomeRefusedStale:
+			ok = age > st.StaleForSlots
+		}
+		if !ok {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d: outcome %s inconsistent with age %d (ladder fresh ≤ %d, stale ≤ %d)",
+					r.Seq, r.Outcome, age, st.FreshForSlots, st.StaleForSlots)})
+		}
+	}
+}
+
+func (c *stalenessChecker) Violations() []Violation { return c.vs }
+
+// deadlineChecker: emissions respect deadlines; only served outcomes
+// emit.
+type deadlineChecker struct{ vs []Violation }
+
+func newDeadlineChecker() *deadlineChecker { return &deadlineChecker{} }
+
+func (c *deadlineChecker) Name() string { return "serve-deadline" }
+
+func (c *deadlineChecker) Observe(r serve.AuditRecord) {
+	if r.Outcome.Served() {
+		if r.EmitMicros == 0 {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d: served without an emit time", r.Seq)})
+		} else if r.EmitMicros > r.DeadlineMicros {
+			c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+				Detail: fmt.Sprintf("seq %d: emitted at %dµs, past the deadline %dµs",
+					r.Seq, r.EmitMicros, r.DeadlineMicros)})
+		}
+	} else if r.EmitMicros != 0 {
+		c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: int(r.Slot),
+			Detail: fmt.Sprintf("seq %d: outcome %s must not emit, but emit time is %dµs",
+				r.Seq, r.Outcome, r.EmitMicros)})
+	}
+}
+
+func (c *deadlineChecker) Finish(*ServeRunState) {}
+
+func (c *deadlineChecker) Violations() []Violation { return c.vs }
+
+// conservationChecker: the outcome ledger tallies the stream exactly
+// and sums to the total — shed + served + refused + rejected conserve
+// every admitted and unadmitted request.
+type conservationChecker struct {
+	tally [serve.NumOutcomes]uint64
+	seen  uint64
+	vs    []Violation
+}
+
+func newConservationChecker() *conservationChecker { return &conservationChecker{} }
+
+func (c *conservationChecker) Name() string { return "serve-conservation" }
+
+func (c *conservationChecker) Observe(r serve.AuditRecord) {
+	if r.Outcome < serve.NumOutcomes {
+		c.tally[r.Outcome]++
+	}
+	c.seen++
+}
+
+func (c *conservationChecker) Finish(st *ServeRunState) {
+	var sum uint64
+	for _, n := range st.Counts {
+		sum += n
+	}
+	if sum != st.Total {
+		c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: -1,
+			Detail: fmt.Sprintf("outcome ledger sums to %d but %d requests were recorded", sum, st.Total)})
+	}
+	// The ring keeps only the newest AuditCap records; the stream
+	// tally can only be compared when nothing was evicted.
+	if c.seen == st.Total {
+		for o, n := range c.tally {
+			if n != st.Counts[o] {
+				c.vs = append(c.vs, Violation{Checker: c.Name(), Slot: -1,
+					Detail: fmt.Sprintf("outcome %s: ledger says %d, audit stream contains %d",
+						serve.Outcome(o), st.Counts[o], n)})
+			}
+		}
+	}
+}
+
+func (c *conservationChecker) Violations() []Violation { return c.vs }
+
+// CompareServeReplay is the serving replay-determinism invariant: two
+// drill runs of the same scenario must export byte-identical audit
+// JSONL. A mismatch reports the first diverging line.
+func CompareServeReplay(a, b []byte) []Violation {
+	if bytes.Equal(a, b) {
+		return nil
+	}
+	aLines := bytes.Split(a, []byte("\n"))
+	bLines := bytes.Split(b, []byte("\n"))
+	line, got, want := 0, "", ""
+	for i := 0; i < len(aLines) || i < len(bLines); i++ {
+		var al, bl []byte
+		if i < len(aLines) {
+			al = aLines[i]
+		}
+		if i < len(bLines) {
+			bl = bLines[i]
+		}
+		if !bytes.Equal(al, bl) {
+			line, got, want = i+1, truncate(string(bl)), truncate(string(al))
+			break
+		}
+	}
+	return []Violation{{Checker: "serve-replay", Slot: -1,
+		Detail: fmt.Sprintf("audit replay diverged at line %d: first run %q, replay %q", line, want, got)}}
+}

@@ -242,6 +242,9 @@ var (
 	MillisBuckets = []float64{50, 100, 200, 500, 1000, 2000, 5000}
 	// LoadBuckets spans provider queue lengths L(t) in bids.
 	LoadBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	// MicrosBuckets spans serving-path latencies and deadline budgets
+	// in microseconds (50 µs hot path up to multi-second budgets).
+	MicrosBuckets = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000, 1e6, 5e6}
 )
 
 // Histogram is a fixed-bucket histogram: observation x lands in the

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Outcome classifies how a quote request ended. Every request gets
+// exactly one outcome; the audit ledger counts them all, so the
+// conservation invariant (requests in = outcomes out, admitted =
+// served + refused) is checkable from the counters alone even after
+// the ring has wrapped.
+type Outcome uint8
+
+const (
+	// OutcomeServedFresh: answered from a fresh table.
+	OutcomeServedFresh Outcome = iota
+	// OutcomeServedStale: answered from a stale table, with the age
+	// and a warning attached.
+	OutcomeServedStale
+	// OutcomeRefusedStale: the freshest table is beyond the ladder's
+	// serviceable age.
+	OutcomeRefusedStale
+	// OutcomeRefusedCold: no table has ever been built for the
+	// market.
+	OutcomeRefusedCold
+	// OutcomeRefusedInfeasible: Eq. 14 rules the job out; refused in
+	// every tier.
+	OutcomeRefusedInfeasible
+	// OutcomeRefusedDraining: the server is shutting down.
+	OutcomeRefusedDraining
+	// OutcomeShedCapacity: admission control ran out of tokens.
+	OutcomeShedCapacity
+	// OutcomeShedDeadline: the deadline could not (or can no longer)
+	// be met; nothing was emitted past it.
+	OutcomeShedDeadline
+	// OutcomeRejectedInvalid: the request itself was malformed.
+	OutcomeRejectedInvalid
+	// NumOutcomes bounds the outcome enum.
+	NumOutcomes
+)
+
+var outcomeNames = [...]string{
+	"served_fresh", "served_stale", "refused_stale", "refused_cold",
+	"refused_infeasible", "refused_draining", "shed_capacity",
+	"shed_deadline", "rejected_invalid",
+}
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Served reports whether the outcome carried a quote to the client.
+func (o Outcome) Served() bool {
+	return o == OutcomeServedFresh || o == OutcomeServedStale
+}
+
+// Admitted reports whether the request passed admission control (and
+// so must be conserved as served + refused).
+func (o Outcome) Admitted() bool {
+	switch o {
+	case OutcomeServedFresh, OutcomeServedStale, OutcomeRefusedStale,
+		OutcomeRefusedCold, OutcomeRefusedInfeasible:
+		return true
+	}
+	return false
+}
+
+// AuditRecord is one request's full decision trail, flattened to
+// scalars so the ring never allocates per request.
+type AuditRecord struct {
+	Seq            uint64  `json:"seq"`
+	Slot           int32   `json:"slot"`
+	KeyIdx         int16   `json:"key"` // index into Server.Keys(); -1 = unknown
+	Class          Class   `json:"class"`
+	Outcome        Outcome `json:"outcome"`
+	Tier           Tier    `json:"tier"`
+	Version        uint64  `json:"version"`  // table version; 0 = no table consulted
+	Fingerprint    uint64  `json:"fp"`       // table fingerprint
+	AgeSlots       int32   `json:"age"`      // table data age at serve time
+	NowMicros      int64   `json:"now"`      // request arrival, logical µs
+	DeadlineMicros int64   `json:"deadline"` // effective (skew-adjusted) deadline
+	EmitMicros     int64   `json:"emit"`     // response emit time; 0 = nothing emitted
+	Price          float64 `json:"price"`    // served bid price; 0 = none
+	ExecHours      float64 `json:"exec"`
+	RecHours       float64 `json:"rec"`
+}
+
+// Audit is the bounded decision ledger: a preallocated ring of the
+// most recent AuditCap records plus exact per-outcome counters that
+// never wrap. Append is mutex-guarded but allocation-free.
+type Audit struct {
+	mu     sync.Mutex
+	ring   []AuditRecord
+	seq    uint64
+	counts [NumOutcomes]uint64
+}
+
+func newAudit(capacity int) *Audit {
+	return &Audit{ring: make([]AuditRecord, capacity)}
+}
+
+// append records one decision and returns its sequence number.
+func (a *Audit) append(r AuditRecord) uint64 {
+	a.mu.Lock()
+	r.Seq = a.seq
+	a.ring[a.seq%uint64(len(a.ring))] = r
+	a.seq++
+	a.counts[r.Outcome]++
+	a.mu.Unlock()
+	return r.Seq
+}
+
+// Total reports how many requests have been recorded.
+func (a *Audit) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// Counts returns the exact per-outcome ledger.
+func (a *Audit) Counts() [NumOutcomes]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counts
+}
+
+// Records returns the retained records in sequence order (oldest
+// first). At most AuditCap records survive; the counters stay exact
+// regardless.
+func (a *Audit) Records() []AuditRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.seq
+	capU := uint64(len(a.ring))
+	if n > capU {
+		n = capU
+	}
+	out := make([]AuditRecord, 0, n)
+	start := a.seq - n
+	for s := start; s < a.seq; s++ {
+		out = append(out, a.ring[s%capU])
+	}
+	return out
+}
+
+// WriteJSONL streams the retained records as one JSON object per
+// line — the drill's replay artifact. Field order is fixed by the
+// hand-rolled encoder, so identical decision streams are
+// byte-identical (encoding/json on a struct would also be stable, but
+// spelling it out keeps the replay contract explicit).
+func (a *Audit) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range a.Records() {
+		_, err := fmt.Fprintf(bw,
+			`{"seq":%d,"slot":%d,"key":%d,"class":%q,"outcome":%q,"tier":%q,"version":%d,"fp":%d,"age":%d,"now":%d,"deadline":%d,"emit":%d,"price":%.9g,"exec":%.9g,"rec":%.9g}`+"\n",
+			r.Seq, r.Slot, r.KeyIdx, r.Class.String(), r.Outcome.String(), r.Tier.String(),
+			r.Version, r.Fingerprint, r.AgeSlots, r.NowMicros, r.DeadlineMicros, r.EmitMicros,
+			r.Price, r.ExecHours, r.RecHours)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/instances"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// The chaos drill: the end-to-end proof that the control plane
+// degrades honestly. It drives a Server synchronously over a live
+// simulated market (a seeded synthetic trace feeding the window, the
+// real build pipeline memoizing real Prop. 4/5 optima) under a
+// serving-fault schedule, in purely logical time — the same
+// SetSlot/Ingest/MaybeRebuild/Quote calls cmd/spotbidd makes from its
+// goroutines, minus the goroutines — so the whole run, including
+// every audit record, is a deterministic function of the seed and the
+// schedule. Two runs export byte-identical audit JSONL; the
+// serving invariants in internal/invariant audit the stream.
+
+// DrillConfig tunes a drill run. Zero values select defaults sized so
+// the default drill exercises every ladder tier, both shed paths, and
+// Eq. 14 infeasibility in a few hundred milliseconds.
+type DrillConfig struct {
+	// Type is the drilled market (default r3.xlarge).
+	Type instances.Type
+	// Slots is the drill length (default 470).
+	Slots int
+	// Seed drives the synthetic price trace (default 1).
+	Seed int64
+	// Faults is the serving-fault schedule (nil = fault-free run).
+	Faults Faults
+	// BurstSlot, when ≥ 0, floods one slot with BurstSize extra
+	// requests to exercise admission shedding (default slot 210, 60
+	// requests). Set BurstSlot = -1 to disable.
+	BurstSlot int
+	// BurstSize is the flood size (default 60).
+	BurstSize int
+	// Metrics, when non-nil, receives the server's serve.* metrics.
+	Metrics *obs.Registry
+}
+
+func (c DrillConfig) withDefaults() DrillConfig {
+	if c.Type == "" {
+		c.Type = instances.R3XLarge
+	}
+	if c.Slots == 0 {
+		c.Slots = 470
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BurstSlot == 0 {
+		c.BurstSlot = 210
+	}
+	if c.BurstSize == 0 {
+		c.BurstSize = 60
+	}
+	return c
+}
+
+// DrillResult is everything a verifier needs: the audit stream and
+// ledger, the tables actually published, the tier timeline, and the
+// byte-exact replay artifact.
+type DrillResult struct {
+	// Key is the drilled market.
+	Key Key
+	// Slots is the drill length.
+	Slots int
+	// FreshForSlots / StaleForSlots are the ladder thresholds the
+	// server ran with (for the staleness invariant).
+	FreshForSlots int
+	StaleForSlots int
+	// Records is the retained audit stream, oldest first.
+	Records []AuditRecord
+	// Counts is the exact per-outcome ledger; Total its sum.
+	Counts [NumOutcomes]uint64
+	Total  uint64
+	// Published maps keyIdx → table version → snapshot fingerprint
+	// for every table that was ever swapped in.
+	Published map[int16]map[uint64]uint64
+	// TierBySlot is the drilled market's ladder tier at the end of
+	// each slot (TierRefuse before the first table).
+	TierBySlot []Tier
+	// BuildLog is the build pipeline's decision log.
+	BuildLog []BuildRecord
+	// AuditJSONL is the audit stream rendered as JSONL — the replay
+	// artifact; Fingerprint is its FNV-1a hash.
+	AuditJSONL  []byte
+	Fingerprint uint64
+}
+
+// drillConfig builds the Server configuration the drill runs: a small
+// window and quick cadence so every ladder transition happens within
+// a few hundred slots, and tight admission buckets so a 60-request
+// burst actually sheds.
+func drillServerConfig(c DrillConfig) Config {
+	return Config{
+		Types:           []instances.Type{c.Type},
+		WindowSlots:     288,
+		MinSamples:      48,
+		RebuildEvery:    12,
+		FreshForSlots:   24,
+		StaleForSlots:   72,
+		FailuresToStall: 2,
+		ExecGridHours:   []float64{1, 4, 12},
+		RecoveryGridHours: []float64{
+			60.0 / 3600.0,  // 60 s
+			600.0 / 3600.0, // 600 s
+		},
+		Admission: AdmitConfig{
+			RatePerSec: [NumClasses]float64{20, 10, 5},
+			Burst:      [NumClasses]float64{8, 8, 8},
+		},
+		AuditCap: 1 << 13,
+		Metrics:  c.Metrics,
+		Faults:   c.Faults,
+	}
+}
+
+// Drill runs the scenario and returns the full result. It performs no
+// assertions — the e2e test and the serving invariants judge the
+// stream.
+func Drill(cfg DrillConfig) (*DrillResult, error) {
+	cfg = cfg.withDefaults()
+	srv, err := New(drillServerConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	key := srv.Keys()[0]
+
+	days := cfg.Slots/288 + 1
+	tr, err := trace.Generate(cfg.Type, trace.GenOptions{Days: days, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if tr.Len() < cfg.Slots {
+		return nil, fmt.Errorf("serve: drill trace of %d slots shorter than the %d-slot drill", tr.Len(), cfg.Slots)
+	}
+
+	res := &DrillResult{
+		Key:           key,
+		Slots:         cfg.Slots,
+		FreshForSlots: srv.cfg.FreshForSlots,
+		StaleForSlots: srv.cfg.StaleForSlots,
+		Published:     map[int16]map[uint64]uint64{},
+		TierBySlot:    make([]Tier, cfg.Slots),
+	}
+	slotMicros := srv.SlotMicros()
+
+	quote := func(slot int, off int64, typ instances.Type, exec, recSec float64, class Class) {
+		srv.Quote(QuoteRequest{
+			Type:            typ,
+			ExecHours:       exec,
+			RecoverySeconds: recSec,
+			Class:           class,
+			NowMicros:       int64(slot)*slotMicros + off,
+		})
+	}
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		srv.SetSlot(slot)
+		if err := srv.Ingest(key, slot, tr.At(slot)); err != nil {
+			return nil, err
+		}
+		for _, br := range srv.MaybeRebuild(slot) {
+			if br.Event != BuildOK && br.Event != BuildLanded {
+				continue
+			}
+			if tbl := srv.Table(key); tbl != nil {
+				m := res.Published[0]
+				if m == nil {
+					m = map[uint64]uint64{}
+					res.Published[0] = m
+				}
+				m[tbl.Version] = tbl.Fingerprint
+			}
+		}
+
+		// The steady request mix: a one-time mid-size job, a long
+		// persistent job with a heavy recovery (the cell Eq. 14 rules
+		// out once the spike poisons the window), and — every third
+		// slot — an interactive short job.
+		quote(slot, 1000, cfg.Type, 4, 0, ClassStandard)
+		quote(slot, 2000, cfg.Type, 12, 600, ClassBatch)
+		if slot%3 == 0 {
+			quote(slot, 3000, cfg.Type, 1, 60, ClassInteractive)
+		}
+		if slot == cfg.BurstSlot {
+			for i := 0; i < cfg.BurstSize; i++ {
+				quote(slot, 10_000+int64(i)*100, cfg.Type, 2, 0, Class(i%int(NumClasses)))
+			}
+		}
+
+		tier := TierRefuse
+		if tbl := srv.Table(key); tbl != nil {
+			tier = srv.tierForAge(slot - tbl.BuiltSlot)
+		}
+		res.TierBySlot[slot] = tier
+	}
+
+	res.Records = srv.Audit().Records()
+	res.Counts = srv.Audit().Counts()
+	res.Total = srv.Audit().Total()
+	res.BuildLog = srv.BuildLog()
+
+	var buf bytes.Buffer
+	if err := srv.Audit().WriteJSONL(&buf); err != nil {
+		return nil, err
+	}
+	res.AuditJSONL = buf.Bytes()
+	h := fnv.New64a()
+	h.Write(res.AuditJSONL)
+	res.Fingerprint = h.Sum64()
+	return res, nil
+}
+
+// DefaultDrillSchedule is the canonical fault timeline the e2e drill
+// and the serve experiment run: a feed stall long enough to walk the
+// ladder down to refuse, build failures that hold recovery back (and
+// trip the watchdog), a delayed swap, skewed client clocks, a
+// capacity burst (paired with DrillConfig.BurstSlot), and a price
+// spike that poisons the window until Eq. 14 genuinely fails. It is
+// expressed as plain data so callers without the chaos package can
+// still read the timeline; chaos.NewServeSchedule consumes the same
+// shape.
+//
+//	slots 60–139   feed stall        → fresh → stale → refuse
+//	slots 144–167  build failures    → recovery held back, watchdog trips
+//	slot  200–203  client clock skew → deadline sheds
+//	slot  210      request burst     → capacity sheds (DrillConfig)
+//	slot  240      delayed swap      → lands at 248, versions stay monotone
+//	slots 260–419  price spike ×20   → Eq. 14 infeasibility refused
+type DrillFault struct {
+	Slot  int
+	Kind  string
+	Slots int
+}
+
+// DefaultDrillFaults returns the canonical timeline (see
+// DefaultDrillSchedule's comment). Kind strings match the
+// chaos.ServeFaultKind names.
+func DefaultDrillFaults() []DrillFault {
+	return []DrillFault{
+		{Slot: 60, Kind: "feed-stall", Slots: 80},
+		{Slot: 144, Kind: "build-fail", Slots: 24},
+		{Slot: 200, Kind: "clock-skew", Slots: 4},
+		{Slot: 240, Kind: "build-delay", Slots: 1},
+		{Slot: 260, Kind: "price-spike", Slots: 160},
+	}
+}

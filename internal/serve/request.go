@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+
+	"repro/internal/instances"
+)
+
+// QuoteRequest is one bid-advisory question: "what should I bid for a
+// job of t_s hours (recovery t_r seconds if persistent) on this
+// instance type, and answer me before my deadline". Times are logical
+// microseconds on whatever clock the deployment runs (spotbidd: wall
+// clock; the drill: the simulated clock).
+type QuoteRequest struct {
+	// Type is the instance type to quote.
+	Type instances.Type
+	// ExecHours is t_s in hours. Must be positive and finite.
+	ExecHours float64
+	// RecoverySeconds is t_r in seconds; 0 selects the one-time
+	// (never-interrupted) plan.
+	RecoverySeconds float64
+	// Class is the priority class for admission.
+	Class Class
+	// NowMicros is the request's arrival time.
+	NowMicros int64
+	// DeadlineMicros is the absolute deadline; a response is never
+	// emitted past it. Zero means NowMicros + DefaultBudgetMicros.
+	DeadlineMicros int64
+}
+
+// DefaultBudgetMicros is the deadline budget assumed when a request
+// names none: one second.
+const DefaultBudgetMicros = 1_000_000
+
+// maxDurationHours bounds accepted job durations: a year. Anything
+// longer is a client bug, not a job.
+const maxDurationHours = 24 * 365
+
+// Validate reports whether the request is well-formed (independent of
+// any market data). Malformed requests are rejected before admission
+// control — they cost no tokens.
+func (r QuoteRequest) Validate() error {
+	if r.Type == "" {
+		return fmt.Errorf("serve: request needs an instance type")
+	}
+	if !(r.ExecHours > 0) || math.IsInf(r.ExecHours, 0) || r.ExecHours > maxDurationHours {
+		return fmt.Errorf("serve: execution time %v hours outside (0, %d]", r.ExecHours, maxDurationHours)
+	}
+	if !(r.RecoverySeconds >= 0) || math.IsInf(r.RecoverySeconds, 0) || r.RecoverySeconds > maxDurationHours*3600 {
+		return fmt.Errorf("serve: recovery time %v seconds outside [0, %d]", r.RecoverySeconds, maxDurationHours*3600)
+	}
+	if r.RecoverySeconds/3600 >= r.ExecHours {
+		return fmt.Errorf("serve: recovery %vs must be below the execution time %vh", r.RecoverySeconds, r.ExecHours)
+	}
+	if r.Class >= NumClasses {
+		return fmt.Errorf("serve: unknown priority class %d", r.Class)
+	}
+	if r.DeadlineMicros != 0 && r.DeadlineMicros < r.NowMicros {
+		return fmt.Errorf("serve: deadline %dµs is before the request time %dµs", r.DeadlineMicros, r.NowMicros)
+	}
+	return nil
+}
+
+// withDeadline returns the request with a zero deadline defaulted.
+func (r QuoteRequest) withDeadline() QuoteRequest {
+	if r.DeadlineMicros == 0 {
+		r.DeadlineMicros = r.NowMicros + DefaultBudgetMicros
+	}
+	return r
+}
+
+// DecodeQuoteRequest parses the /v1/quote query parameters:
+//
+//	type             instance type (required)
+//	exec_hours       t_s in hours (required, positive)
+//	recovery_seconds t_r in seconds (default 0 = one-time)
+//	class            interactive | standard | batch (default standard)
+//	budget_micros    deadline budget relative to arrival (default 1s)
+//
+// nowMicros stamps the arrival time. The decoder must never panic and
+// never produce a request that Validate would pass with non-finite
+// numbers — FuzzQuoteRequest holds it to that.
+func DecodeQuoteRequest(vals url.Values, nowMicros int64) (QuoteRequest, error) {
+	req := QuoteRequest{NowMicros: nowMicros}
+	req.Type = instances.Type(vals.Get("type"))
+	if req.Type == "" {
+		return req, fmt.Errorf("serve: missing required parameter type")
+	}
+	var err error
+	if req.ExecHours, err = parseFloat(vals, "exec_hours", 0); err != nil {
+		return req, err
+	}
+	if req.RecoverySeconds, err = parseFloat(vals, "recovery_seconds", 0); err != nil {
+		return req, err
+	}
+	if req.Class, err = ParseClass(vals.Get("class")); err != nil {
+		return req, err
+	}
+	budget := int64(DefaultBudgetMicros)
+	if s := vals.Get("budget_micros"); s != "" {
+		b, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("serve: bad budget_micros %q: %v", s, err)
+		}
+		if b <= 0 {
+			return req, fmt.Errorf("serve: budget_micros %d must be positive", b)
+		}
+		budget = b
+	}
+	if nowMicros > math.MaxInt64-budget {
+		return req, fmt.Errorf("serve: deadline overflows")
+	}
+	req.DeadlineMicros = nowMicros + budget
+	if err := req.Validate(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// parseFloat reads a finite float parameter, with a default for the
+// empty string.
+func parseFloat(vals url.Values, name string, def float64) (float64, error) {
+	s := vals.Get(name)
+	if s == "" {
+		if name == "exec_hours" {
+			return 0, fmt.Errorf("serve: missing required parameter exec_hours")
+		}
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad %s %q: %v", name, s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("serve: %s must be finite, got %v", name, v)
+	}
+	return v, nil
+}
+
+// QuoteResponse is the served answer. ServedUnder explains the tier;
+// a stale response carries its explicit data age and a warning so the
+// client can decide whether an old answer is still an answer.
+type QuoteResponse struct {
+	Key      Key    `json:"key"`
+	Tier     string `json:"tier"`
+	AgeSlots int    `json:"age_slots"`
+	Version  uint64 `json:"table_version"`
+	Samples  int    `json:"samples"`
+	Warning  string `json:"warning,omitempty"`
+	// ExecHours/RecoverySeconds echo the *grid* values the quote was
+	// computed for (≥ the requested ones; rounding is conservative).
+	ExecHours       float64 `json:"exec_hours"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	Quote           Quote   `json:"quote"`
+	EmitMicros      int64   `json:"emit_micros"`
+	DeadlineMicros  int64   `json:"deadline_micros"`
+}
+
+// StaleWarning is the fixed warning text attached to TierStale
+// responses (a constant so the hot path concatenates nothing).
+const StaleWarning = "quote computed from stale market data; age_slots is the data age in 5-minute slots"

@@ -12,7 +12,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-dirs="internal/obs internal/cloud internal/client internal/fleet"
+dirs="internal/obs internal/cloud internal/client internal/fleet internal/serve"
 
 hits=$(grep -rn --include='*.go' 'time\.\(Now\|Since\)(' $dirs 2>/dev/null |
 	grep -v 'nowallclock:allow' || true)

@@ -7,10 +7,20 @@
 # or a market.slot_ecdf speedup below the 2x acceptance bar — fails
 # the build. Refresh the record with `make bench-core` after an
 # intentional performance change.
+#
+# The serving gate rides along: cmd/servebench re-measures the quote
+# hot path and fails if any serve.quote_* branch allocates (the
+# committed BENCH_serve.json is the 0-alloc contract). Refresh it with
+# `make bench-serve`.
 set -e
 cd "$(dirname "$0")/.."
 if [ ! -f BENCH_core.json ]; then
     echo "perfgate: BENCH_core.json missing; run 'make bench-core' and commit it" >&2
     exit 1
 fi
-exec "${GO:-go}" run ./cmd/corebench -quick -gate BENCH_core.json
+if [ ! -f BENCH_serve.json ]; then
+    echo "perfgate: BENCH_serve.json missing; run 'make bench-serve' and commit it" >&2
+    exit 1
+fi
+"${GO:-go}" run ./cmd/corebench -quick -gate BENCH_core.json
+exec "${GO:-go}" run ./cmd/servebench -quick -gate BENCH_serve.json

@@ -22,6 +22,9 @@
 //   - internal/client    — the Fig. 1 bidding client
 //   - internal/strategy  — the pluggable bidding-strategy engine the
 //     client delegates to (incumbents + contenders, one registry)
+//   - internal/serve     — the degradation-aware bid-advisory control
+//     plane (staleness tiers, admission control, audit ledger) behind
+//     the cmd/spotbidd HTTP daemon
 //   - internal/experiments — regeneration of every table and figure
 //
 // # Quickstart
@@ -53,6 +56,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/obs/event"
 	"repro/internal/retry"
+	"repro/internal/serve"
 	"repro/internal/strategy"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
@@ -132,6 +136,11 @@ type (
 
 // ErrInfeasible reports a job that no feasible bid can serve (Eq. 14).
 var ErrInfeasible = core.ErrInfeasible
+
+// Eq14Feasible is the closed-form satisfiability test of the Eq. 14
+// interruptibility constraint below a bid ceiling; the serving layer
+// uses it as the honest-refusal criterion.
+var Eq14Feasible = core.Eq14Feasible
 
 // PlanMapReduce solves the joint master/slave problem of Eq. 20.
 var PlanMapReduce = core.PlanMapReduce
@@ -507,4 +516,52 @@ const (
 	TraceCheckpointExport  = event.CheckpointExport
 	TraceCheckpointImport  = event.CheckpointImport
 	TraceLegComplete       = event.LegComplete
+)
+
+// The bid-advisory control plane (see internal/serve): versioned
+// quote tables over the windowed ECDF, a three-tier staleness ladder
+// (fresh → stale-with-age → refuse; Eq. 14 infeasibility refused in
+// every tier), priority-class admission control with deadline-aware
+// shedding, and an auditable per-request outcome ledger. cmd/spotbidd
+// is the HTTP daemon; the chaos drill in ServeDrillConfig proves the
+// degradation behavior deterministically.
+type (
+	// ServeServer is the quote-serving control plane.
+	ServeServer = serve.Server
+	// ServeConfig tunes markets, ladder thresholds, grids, admission.
+	ServeConfig = serve.Config
+	// ServeKey identifies one (region, instance type) market.
+	ServeKey = serve.Key
+	// ServeTier is a staleness ladder tier.
+	ServeTier = serve.Tier
+	// ServeQuoteRequest / ServeQuoteResponse are the quote API.
+	ServeQuoteRequest  = serve.QuoteRequest
+	ServeQuoteResponse = serve.QuoteResponse
+	// ServeOutcome classifies how a request exited.
+	ServeOutcome = serve.Outcome
+	// ServeClass is an admission priority class.
+	ServeClass = serve.Class
+	// ServeDrillConfig / ServeDrillResult run the serving chaos drill.
+	ServeDrillConfig = serve.DrillConfig
+	ServeDrillResult = serve.DrillResult
+)
+
+// NewServeServer builds a quote-serving control plane; NewServeHandler
+// wraps it in the /v1/quote + health HTTP API; ServeDrill runs the
+// deterministic degradation drill.
+var (
+	NewServeServer  = serve.New
+	NewServeHandler = serve.NewHandler
+	ServeDrill      = serve.Drill
+)
+
+// Staleness ladder tiers and admission classes.
+const (
+	ServeTierFresh  = serve.TierFresh
+	ServeTierStale  = serve.TierStale
+	ServeTierRefuse = serve.TierRefuse
+
+	ServeClassInteractive = serve.ClassInteractive
+	ServeClassStandard    = serve.ClassStandard
+	ServeClassBatch       = serve.ClassBatch
 )
