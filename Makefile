@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core bench-serve perfgate resilcheck trace-demo serve-demo
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core bench-serve perfgate resilcheck trace-demo serve-demo top-demo
 
 all: check
 
@@ -29,7 +29,8 @@ race-obs:
 		./internal/checkpoint/ ./internal/cloud/ ./internal/client/ \
 		./internal/market/ ./internal/fleet/ ./internal/trace/ \
 		./internal/dist/ ./internal/experiments/ ./internal/chaos/ \
-		./internal/invariant/ ./internal/strategy/ ./internal/serve/
+		./internal/invariant/ ./internal/strategy/ ./internal/serve/ \
+		./internal/obs/tsdb/
 
 # Randomized test order, seed printed on failure for replay with
 # -shuffle=N.
@@ -44,14 +45,15 @@ no-wallclock:
 check: vet no-wallclock race-obs race shuffle perfgate resilcheck
 
 # Short fuzz pass over both history-parser targets, the
-# fault-schedule shrinker, the strategy deciders, and the quote-request
-# decoder + serving path.
+# fault-schedule shrinker, the strategy deciders, the quote-request
+# decoder + serving path, and the tsdb chunk decoder.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/invariant/
 	$(GO) test -fuzz=FuzzStrategyDecision -fuzztime=30s ./internal/strategy/
 	$(GO) test -fuzz=FuzzQuoteRequest -fuzztime=30s ./internal/serve/
+	$(GO) test -fuzz=FuzzTSDBDecode -fuzztime=30s ./internal/obs/tsdb/
 
 # Resilience smoke campaign (deterministic seed): the full default
 # fault-schedule grid plus random schedules under all five invariant
@@ -99,3 +101,10 @@ trace-demo:
 # the README serving quickstart for curl examples.
 serve-demo:
 	$(GO) run ./cmd/spotbidd -addr :8372 -accel 300
+
+# Terminal observatory demo: run the serving drill under the tsdb
+# scraper and render every series as a sparkline plus the SLO alert
+# timeline (degrade → shed → recover). See the README observatory
+# quickstart for the replay and attach modes.
+top-demo:
+	$(GO) run ./cmd/spotbidtop -drill

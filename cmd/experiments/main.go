@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/event"
+	"repro/internal/obs/tsdb"
 )
 
 func main() {
@@ -32,9 +33,11 @@ func main() {
 		traceOn     = flag.Bool("trace", false, "record a flight-recorder event trace of run 0 of each sweep cell")
 		traceOut    = flag.String("trace-out", "", "write the trace to this file (default stdout; implies -trace)")
 		traceFormat = flag.String("trace-format", "jsonl", "trace export format: jsonl, chrome, or timeline (implies -trace)")
+		tsdbOut     = flag.String("tsdb-out", "", "scrape run 0 of each sweep cell into a time-series store and dump it to this file (.csv for CSV, anything else JSONL)")
+		scrapeEvery = flag.Int("scrape-every", 0, "tsdb scrape cadence in slots (0 = per-experiment default)")
 	)
 	flag.Parse()
-	opts := experiments.Opts{Seed: *seed, Runs: *runs}
+	opts := experiments.Opts{Seed: *seed, Runs: *runs, ScrapeEvery: *scrapeEvery}
 	if *metrics || *metricsJSON {
 		opts.Metrics = obs.New()
 	}
@@ -42,6 +45,9 @@ func main() {
 		// Unbounded: an experiment export wants the whole stream, not
 		// the flight recorder's overwrite-oldest window.
 		opts.Trace = event.NewRecorder(event.Config{Unbounded: true})
+	}
+	if *tsdbOut != "" {
+		opts.TSDB = tsdb.New(tsdb.Config{})
 	}
 
 	// Interrupt-safe metrics flush: a metered run that is cut short
@@ -167,6 +173,25 @@ func main() {
 			fatalf("exporting trace: %v", err)
 		}
 	}
+	if opts.TSDB != nil {
+		if err := exportTSDB(opts.TSDB, *tsdbOut); err != nil {
+			fatalf("exporting tsdb: %v", err)
+		}
+	}
+}
+
+// exportTSDB dumps the scraped store: CSV when the filename says so,
+// JSONL otherwise.
+func exportTSDB(db *tsdb.DB, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(out, ".csv") {
+		return db.WriteCSV(f)
+	}
+	return db.WriteJSONL(f)
 }
 
 // exportTrace writes the recorded trace in the chosen format, to the

@@ -21,7 +21,14 @@
 //	GET /v1/quote?type=r3.xlarge&exec_hours=4[&recovery_seconds=600][&class=batch][&budget_micros=…]
 //	GET /healthz   liveness (503 while draining)
 //	GET /readyz    readiness: per-market tier, age, version, stall flag
-//	GET /metricz   metrics snapshot as JSON
+//	GET /metricz   metrics snapshot: JSON, or Prometheus text via
+//	               ?format=prom / an Accept: text/plain header
+//
+// With -tsdb-out the daemon also scrapes its own registry into an
+// in-process time-series store every -scrape-every slots, evaluates
+// the serve.DefaultSLOs burn-rate alerts on each scrape (transitions
+// log to stderr), and dumps the store on drain — the file spotbidtop
+// replays.
 //
 // Usage:
 //
@@ -42,28 +49,31 @@ import (
 
 	"repro/internal/instances"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
-		region = flag.String("region", "us-east-1", "region label for quote keys")
-		types  = flag.String("types", "r3.xlarge", "comma-separated instance types to serve")
-		seed   = flag.Int64("seed", 1, "seed for the synthetic market feed")
-		days   = flag.Int("days", 70, "synthetic feed length in days (replayed cyclically)")
-		accel  = flag.Float64("accel", 1, "time compression: slots per 300 wall seconds")
-		warmup = flag.Int("warmup", 288, "slots of history ingested before serving starts")
+		addr        = flag.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
+		region      = flag.String("region", "us-east-1", "region label for quote keys")
+		types       = flag.String("types", "r3.xlarge", "comma-separated instance types to serve")
+		seed        = flag.Int64("seed", 1, "seed for the synthetic market feed")
+		days        = flag.Int("days", 70, "synthetic feed length in days (replayed cyclically)")
+		accel       = flag.Float64("accel", 1, "time compression: slots per 300 wall seconds")
+		warmup      = flag.Int("warmup", 288, "slots of history ingested before serving starts")
+		tsdbOut     = flag.String("tsdb-out", "", "scrape metrics into a time-series store and dump it here on drain (.csv for CSV, anything else JSONL)")
+		scrapeEvery = flag.Int("scrape-every", 4, "tsdb scrape cadence in slots (with -tsdb-out)")
 	)
 	flag.Parse()
-	if err := run(*addr, *region, *types, *seed, *days, *accel, *warmup); err != nil {
+	if err := run(*addr, *region, *types, *seed, *days, *accel, *warmup, *tsdbOut, *scrapeEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "spotbidd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, region, typeList string, seed int64, days int, accel float64, warmup int) error {
+func run(addr, region, typeList string, seed int64, days int, accel float64, warmup int, tsdbOut string, scrapeEvery int) error {
 	if accel <= 0 {
 		return fmt.Errorf("-accel must be positive, got %v", accel)
 	}
@@ -92,6 +102,27 @@ func run(addr, region, typeList string, seed int64, days int, accel float64, war
 		}
 		feeds[key] = tr
 	}
+	// The observability plane (with -tsdb-out): scrape the registry on
+	// a slot cadence and run the shared SLO set; alert transitions log
+	// to stderr as they happen, the store dumps on drain.
+	var (
+		db      *tsdb.DB
+		scraper *tsdb.Scraper
+		engine  *tsdb.Engine
+	)
+	if tsdbOut != "" {
+		db = tsdb.New(tsdb.Config{})
+		scraper = tsdb.NewScraper(db, tsdb.ScrapeConfig{
+			Registry: metrics,
+			Every:    scrapeEvery,
+			Labels:   tsdb.L("region", region),
+		})
+		engine, err = tsdb.NewEngine(db, nil, serve.DefaultSLOs()...)
+		if err != nil {
+			return err
+		}
+	}
+
 	ingest := func(slot int) error {
 		srv.SetSlot(slot)
 		for key, tr := range feeds {
@@ -100,6 +131,11 @@ func run(addr, region, typeList string, seed int64, days int, accel float64, war
 			}
 		}
 		srv.MaybeRebuild(slot)
+		if scraper != nil && scraper.Tick(slot) {
+			for _, a := range engine.Eval(slot) {
+				fmt.Fprintf(os.Stderr, "spotbidd: SLO %s\n", a)
+			}
+		}
 		return nil
 	}
 
@@ -178,8 +214,29 @@ func run(addr, region, typeList string, seed int64, days int, accel float64, war
 	}
 	fmt.Fprintln(os.Stderr)
 	fmt.Fprintf(os.Stderr, "== Metrics\n%s", metrics.Snapshot().Render())
+	if db != nil {
+		if err := dumpTSDB(db, tsdbOut); err != nil {
+			return fmt.Errorf("dumping tsdb: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "spotbidd: dumped %d series (%d scrapes, %d SLO transitions) to %s\n",
+			db.NumSeries(), scraper.Scrapes(), len(engine.Alerts()), tsdbOut)
+	}
 	fmt.Fprintln(os.Stderr, "spotbidd: bye")
 	return nil
+}
+
+// dumpTSDB writes the store: CSV when the filename says so, JSONL
+// otherwise.
+func dumpTSDB(db *tsdb.DB, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(out, ".csv") {
+		return db.WriteCSV(f)
+	}
+	return db.WriteJSONL(f)
 }
 
 // slotInterval converts the server's 300-second logical slot into the

@@ -1,0 +1,365 @@
+// Command spotbidtop is the terminal observatory for the bidding
+// stack: it renders the time-series store — sparklines per series,
+// grouped by metric, plus the SLO alert log — from any of three
+// sources.
+//
+// Modes (pick one; -drill is the default):
+//
+//	-drill          run the canonical serving chaos drill in-process
+//	                (deterministic; the degrade → shed → recover walk)
+//	                and render its scraped store and SLO transitions
+//	-replay FILE    render a dump written by spotbidd -tsdb-out,
+//	                experiments -tsdb-out, or a previous drill
+//	-attach URL     poll a live spotbidd's /metricz endpoint, building
+//	                the store slot by slot from its serve.slot gauge
+//
+// Drill and replay render once and exit. Attach redraws on every poll
+// until interrupted; -once takes a single sample and exits (for
+// scripting).
+//
+// Display flags: -match filters series by substring, -width sets the
+// sparkline width, -buckets shows the histogram bucket series that are
+// hidden by default.
+//
+// Usage:
+//
+//	spotbidtop -drill
+//	spotbidtop -replay drill.jsonl -match slo.
+//	spotbidtop -attach http://localhost:8372 -poll 1s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+func main() {
+	var (
+		drill   = flag.Bool("drill", false, "run the canonical serving chaos drill and render it (the default mode)")
+		replay  = flag.String("replay", "", "render a tsdb dump file (JSONL)")
+		attach  = flag.String("attach", "", "poll a live spotbidd base URL (e.g. http://localhost:8372)")
+		seed    = flag.Int64("seed", 1, "drill seed (with -drill)")
+		poll    = flag.Duration("poll", time.Second, "poll interval (with -attach)")
+		once    = flag.Bool("once", false, "with -attach: take one sample, render, exit")
+		match   = flag.String("match", "", "only show series whose name contains this substring")
+		width   = flag.Int("width", 48, "sparkline width in cells")
+		buckets = flag.Bool("buckets", false, "show histogram :bucket series (hidden by default)")
+	)
+	flag.Parse()
+	if *replay != "" && *attach != "" {
+		fatalf("-replay and -attach are mutually exclusive")
+	}
+	if *drill && (*replay != "" || *attach != "") {
+		fatalf("-drill excludes -replay and -attach")
+	}
+	view := view{match: *match, width: *width, buckets: *buckets}
+	var err error
+	switch {
+	case *replay != "":
+		err = runReplay(*replay, view)
+	case *attach != "":
+		err = runAttach(*attach, *poll, *once, view)
+	default:
+		err = runDrill(*seed, view)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spotbidtop: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// view holds the display options shared by all modes.
+type view struct {
+	match   string
+	width   int
+	buckets bool
+}
+
+// runDrill executes the serving chaos drill with a store attached and
+// renders the result: the degrade → shed → recover walk the repo's
+// tests assert, as a human sees it.
+func runDrill(seed int64, v view) error {
+	db := tsdb.New(tsdb.Config{})
+	res, err := experiments.ServeDrillRun(experiments.Opts{Seed: seed, TSDB: db})
+	if err != nil {
+		return err
+	}
+	header := fmt.Sprintf("spotbidtop — drill (seed %d, %d slots, replay %s)",
+		seed, res.Slots, map[bool]string{true: "byte-identical", false: "DIVERGED"}[res.ReplayIdentical])
+	alerts := make([]string, len(res.Alerts))
+	for i, a := range res.Alerts {
+		alerts[i] = a.String()
+	}
+	fmt.Print(render(header, db.All(), alerts, v))
+	return nil
+}
+
+// runReplay renders a dump file.
+func runReplay(path string, v view) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	series, err := tsdb.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	slots := 0
+	for _, s := range series {
+		if n := len(s.Points); n > 0 && s.Points[n-1].Slot+1 > slots {
+			slots = s.Points[n-1].Slot + 1
+		}
+	}
+	header := fmt.Sprintf("spotbidtop — replay %s (%d series, %d slots)", path, len(series), slots)
+	fmt.Print(render(header, series, alertsFromSeries(series), v))
+	return nil
+}
+
+// runAttach polls a live daemon's /metricz JSON, using its serve.slot
+// gauge as the slot index, and redraws after every sample.
+func runAttach(base string, poll time.Duration, once bool, v view) error {
+	base = strings.TrimRight(base, "/")
+	db := tsdb.New(tsdb.Config{})
+	lastSlot := -1
+	for {
+		snap, err := fetchSnapshot(base + "/metricz?format=json")
+		if err != nil {
+			return err
+		}
+		slot := attachSlot(snap)
+		if slot > lastSlot {
+			appendSnapshot(db, snap, slot)
+			lastSlot = slot
+		}
+		header := fmt.Sprintf("spotbidtop — attached to %s (slot %d, %d series)", base, lastSlot, db.NumSeries())
+		out := render(header, db.All(), alertsFromSeries(db.All()), v)
+		if once {
+			fmt.Print(out)
+			return nil
+		}
+		// Clear and redraw: home the cursor, wipe below.
+		fmt.Print("\033[H\033[2J" + out)
+		time.Sleep(poll)
+	}
+}
+
+// fetchSnapshot GETs a /metricz JSON snapshot.
+func fetchSnapshot(url string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// attachSlot extracts the daemon's logical clock from the snapshot.
+func attachSlot(snap obs.Snapshot) int {
+	for _, g := range snap.Gauges {
+		if g.Name == "serve.slot" {
+			return int(g.Value)
+		}
+	}
+	return 0
+}
+
+// appendSnapshot folds one snapshot into the store at the given slot,
+// mirroring the scraper's series layout (counters and gauges by name,
+// histograms as :sum/:count plus cumulative le buckets).
+func appendSnapshot(db *tsdb.DB, snap obs.Snapshot, slot int) {
+	for _, c := range snap.Counters {
+		db.Append(c.Name, nil, slot, float64(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		db.Append(g.Name, nil, slot, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		db.Append(h.Name+":sum", nil, slot, h.Sum)
+		db.Append(h.Name+":count", nil, slot, float64(h.Count))
+		cum := int64(0)
+		for i, u := range h.Uppers {
+			cum += h.Counts[i]
+			le := strconv.FormatFloat(u, 'g', -1, 64)
+			db.Append(h.Name+":bucket", tsdb.L("le", le), slot, float64(cum))
+		}
+		db.Append(h.Name+":bucket", tsdb.L("le", "+Inf"), slot, float64(h.Count))
+	}
+}
+
+// alertsFromSeries reconstructs the SLO transition log from the
+// slo.firing step series a dump carries — replay and attach have no
+// live engine, but the store remembers every edge.
+func alertsFromSeries(series []tsdb.SeriesData) []string {
+	var out []string
+	type edge struct {
+		slot int
+		line string
+	}
+	var edges []edge
+	for _, s := range series {
+		if s.Name != "slo.firing" {
+			continue
+		}
+		name := labelOf(s.Labels, "slo")
+		prev := 0.0
+		for _, p := range s.Points {
+			if p.Value != prev {
+				state := "RESOLVED"
+				if p.Value != 0 {
+					state = "FIRING"
+				}
+				edges = append(edges, edge{p.Slot, fmt.Sprintf("slot %d %s %s", p.Slot, name, state)})
+			}
+			prev = p.Value
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].slot < edges[j].slot })
+	for _, e := range edges {
+		out = append(out, e.line)
+	}
+	return out
+}
+
+func labelOf(ls tsdb.Labels, key string) string {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return "?"
+}
+
+// render lays out the dashboard: header, one line per series (name,
+// labels, sparkline, last value), and the alert log.
+func render(header string, series []tsdb.SeriesData, alerts []string, v view) string {
+	var b strings.Builder
+	b.WriteString(header + "\n\n")
+
+	hidden := 0
+	var shown []tsdb.SeriesData
+	for _, s := range series {
+		if !v.buckets && strings.HasSuffix(s.Name, ":bucket") {
+			hidden++
+			continue
+		}
+		if v.match != "" && !strings.Contains(s.Name+s.Labels.String(), v.match) {
+			continue
+		}
+		shown = append(shown, s)
+	}
+
+	nameW := 0
+	for _, s := range shown {
+		if n := len(s.Name + s.Labels.String()); n > nameW {
+			nameW = n
+		}
+	}
+	prevGroup := ""
+	for _, s := range shown {
+		// Blank line between metric families (the segment before the
+		// first dot) keeps related series visually grouped.
+		group := s.Name
+		if i := strings.IndexByte(group, '.'); i >= 0 {
+			group = group[:i]
+		}
+		if prevGroup != "" && group != prevGroup {
+			b.WriteByte('\n')
+		}
+		prevGroup = group
+
+		last := math.NaN()
+		if n := len(s.Points); n > 0 {
+			last = s.Points[n-1].Value
+		}
+		fmt.Fprintf(&b, "  %-*s  %s  %s\n",
+			nameW, s.Name+s.Labels.String(), sparkline(s.Points, v.width), formatVal(last))
+	}
+	if len(shown) == 0 {
+		b.WriteString("  (no series match)\n")
+	}
+	if hidden > 0 {
+		fmt.Fprintf(&b, "\n  %d bucket series hidden (-buckets to show)\n", hidden)
+	}
+
+	if len(alerts) > 0 {
+		b.WriteString("\nSLO alerts:\n")
+		for _, a := range alerts {
+			b.WriteString("  " + a + "\n")
+		}
+	}
+	return b.String()
+}
+
+// sparks are the eight-level bar cells, lowest to highest.
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the series as width cells: the slot range is cut
+// into equal windows, each cell the window average normalized against
+// the series min/max. A flat series is a floor line; empty is blank.
+func sparkline(pts []tsdb.Point, width int) string {
+	if len(pts) == 0 || width <= 0 {
+		return strings.Repeat(" ", max(width, 0))
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		lo, hi = math.Min(lo, p.Value), math.Max(hi, p.Value)
+	}
+	first, lastS := pts[0].Slot, pts[len(pts)-1].Slot
+	span := lastS - first + 1
+	sum := make([]float64, width)
+	cnt := make([]int, width)
+	for _, p := range pts {
+		i := (p.Slot - first) * width / span
+		sum[i] += p.Value
+		cnt[i]++
+	}
+	cells := make([]rune, width)
+	levels := float64(len(sparks) - 1)
+	prev := pts[0].Value
+	for i := range cells {
+		v := prev
+		if cnt[i] > 0 {
+			v = sum[i] / float64(cnt[i])
+			prev = v
+		}
+		level := 0
+		if hi > lo {
+			level = int(math.Round((v - lo) / (hi - lo) * levels))
+		}
+		cells[i] = sparks[level]
+	}
+	return string(cells)
+}
+
+// formatVal is the "last value" column: shortest round-trip form, with
+// a fixed marker for the empty series.
+func formatVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

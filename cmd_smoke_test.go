@@ -269,6 +269,57 @@ func TestSpotbiddCLI(t *testing.T) {
 	}
 }
 
+func TestSpotbidtopCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "spotbidtop")
+
+	// Drill mode renders the degrade → shed → recover walk: sparklines
+	// per series plus the SLO transition log.
+	out := runCmd(t, bin, "-drill")
+	for _, want := range []string{
+		"spotbidtop — drill", "replay byte-identical",
+		"serve.tier", "slo.firing", "slo.burn_rate",
+		"fresh-tier-ratio FIRING", "fresh-tier-ratio RESOLVED",
+		"shed-rate FIRING", "bucket series hidden",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drill output missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("drill output has no sparkline cells:\n%s", out)
+	}
+
+	// -match filters; -buckets reveals the histogram series.
+	out = runCmd(t, bin, "-drill", "-match", "slo.")
+	if strings.Contains(out, "serve.builds") || !strings.Contains(out, "slo.firing") {
+		t.Errorf("-match slo. output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-drill", "-buckets", "-match", ":bucket")
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Errorf("-buckets output missing le series:\n%s", out)
+	}
+
+	// Replay mode round-trips a dump written by experiments -tsdb-out:
+	// the same alert walk, reconstructed from the slo.firing series.
+	experiments := buildCmd(t, "experiments")
+	dump := filepath.Join(t.TempDir(), "drill.jsonl")
+	runCmd(t, experiments, "-only", "serve", "-runs", "1", "-tsdb-out", dump)
+	out = runCmd(t, bin, "-replay", dump)
+	for _, want := range []string{"spotbidtop — replay", "fresh-tier-ratio FIRING", "fresh-tier-ratio RESOLVED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Conflicting modes exit non-zero.
+	if err := exec.Command(bin, "-drill", "-replay", dump).Run(); err == nil {
+		t.Error("-drill with -replay should fail")
+	}
+}
+
 func TestResilcheckCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -24,6 +24,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/obs"
 	"repro/internal/obs/event"
+	"repro/internal/obs/tsdb"
 	"repro/internal/trace"
 )
 
@@ -53,6 +54,16 @@ type Opts struct {
 	// scheduling. Table3 records every trace generation. Nil — the
 	// default — records nothing and changes no behavior.
 	Trace *event.Recorder
+	// TSDB, when non-nil, is the time-series store the experiment
+	// scrapes into. Under the same run-0-only discipline as Trace (and
+	// serialized the same way), the instrumented run's registry and
+	// derived signals — breaker states, per-region health, per-cell
+	// savings — are sampled every ScrapeEvery slots with the cell's
+	// identity as labels, so one sweep yields one byte-stable dump.
+	TSDB *tsdb.DB
+	// ScrapeEvery is the scrape cadence in slots (default 144 for the
+	// multi-day sweeps; serve drills default to 4 on their own).
+	ScrapeEvery int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -64,6 +75,9 @@ func (o Opts) withDefaults() Opts {
 	}
 	if o.Days == 0 {
 		o.Days = 63
+	}
+	if o.ScrapeEvery <= 0 {
+		o.ScrapeEvery = 144
 	}
 	return o
 }

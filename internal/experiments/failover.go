@@ -10,6 +10,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/obs/event"
+	"repro/internal/obs/tsdb"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 )
@@ -55,12 +56,23 @@ func failoverSpec(typ instances.Type) job.Spec {
 	return job.Spec{ID: "failover-job", Type: typ, Exec: 1, Recovery: timeslot.Seconds(30)}
 }
 
+// failoverScrape is the observability attachment of one instrumented
+// failover run: a scraper over the fleet registry plus breaker-state
+// and health-score step series per member, driven from the
+// controller's OnSlot hook.
+type failoverScrape struct {
+	db     *tsdb.DB
+	every  int
+	labels tsdb.Labels
+}
+
 // failoverRun executes one fleet job: n regions with independent
 // generated traces on a shared slot clock, the home region armed with
 // a correlated region-outage chaos profile at the given rate, the
 // siblings fault-free. It returns the fleet report plus the
 // all-on-demand baseline cost measured on an identical home region.
-func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Registry, rec *event.Recorder) (fleet.Report, float64, error) {
+// A non-nil scr attaches the tsdb scraper to the fleet's slot clock.
+func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Registry, rec *event.Recorder, scr *failoverScrape) (fleet.Report, float64, error) {
 	typ := instances.R3XLarge
 	spec := failoverSpec(typ)
 	members := make([]fleet.Member, n)
@@ -89,11 +101,29 @@ func failoverRun(n int, rate float64, seed int64, offset, days int, met *obs.Reg
 		}
 		members[i] = fleet.Member{ID: fmt.Sprintf("region-%d", i), Region: region, Client: cl}
 	}
-	ctl, err := fleet.NewController(fleet.Config{
+	cfg := fleet.Config{
 		MigrationPenalty: timeslot.Seconds(60),
 		Metrics:          met,
 		Trace:            rec,
-	}, members...)
+	}
+	var ctl *fleet.Controller
+	if scr != nil {
+		scraper := tsdb.NewScraper(scr.db, tsdb.ScrapeConfig{
+			Registry: met,
+			Every:    scr.every,
+			Labels:   scr.labels,
+		})
+		scraper.AddSource(func(slot int, app tsdb.Appender) {
+			// ctl is assigned before the first Tick fires OnSlot.
+			for i := range members {
+				id := members[i].ID
+				app("fleet.breaker", tsdb.L("region", id), float64(ctl.Breaker(id)))
+				app("fleet.health", tsdb.L("region", id), ctl.Health(id))
+			}
+		})
+		cfg.OnSlot = func(slot int) { scraper.Tick(slot) }
+	}
+	ctl, err := fleet.NewController(cfg, members...)
 	if err != nil {
 		return fleet.Report{}, 0, err
 	}
@@ -165,7 +195,9 @@ func FailoverSweep(o Opts) (FailoverResult, error) {
 		cellOffs[ci] = offsets(o.Runs, o.Seed+int64(cell.ni))
 	}
 	var traced func(int) bool
-	if o.Trace != nil {
+	if o.Trace != nil || o.TSDB != nil {
+		// The shared recorder and the shared tsdb both need run-0s
+		// serialized in cell order to stay deterministic.
 		traced = func(int) bool { return true }
 	}
 	err := forEachCellRun(len(cells), o.Runs, traced, func(ci, run int) error {
@@ -173,10 +205,26 @@ func FailoverSweep(o Opts) (FailoverResult, error) {
 		seed := o.Seed + int64(cell.ni)*2003 + int64(run)*7919
 		met := obs.New()
 		var rec *event.Recorder
+		var scr *failoverScrape
 		if run == 0 {
 			rec = o.Trace
+			if o.TSDB != nil {
+				scr = &failoverScrape{db: o.TSDB, every: o.ScrapeEvery,
+					labels: tsdb.L("rate", fmt.Sprintf("%g", cell.rate), "regions", fmt.Sprintf("%d", cell.n))}
+			}
 		}
-		rep, base, err := failoverRun(cell.n, cell.rate, seed, cellOffs[ci][run], o.Days, met, rec)
+		rep, base, err := failoverRun(cell.n, cell.rate, seed, cellOffs[ci][run], o.Days, met, rec, scr)
+		if scr != nil && err == nil {
+			// The per-cell outcome as point series at the submission
+			// slot: fleet cost, on-demand baseline, and the savings
+			// ratio the sweep's table reports.
+			slot := historySlots + cellOffs[ci][run]
+			o.TSDB.Append("failover.fleet_cost", scr.labels, slot, rep.FleetCost)
+			o.TSDB.Append("failover.od_cost", scr.labels, slot, base)
+			if base > 0 {
+				o.TSDB.Append("failover.savings", scr.labels, slot, 1-rep.FleetCost/base)
+			}
+		}
 		results[ci][run] = runResult{rep: rep, base: base, met: met, err: err}
 		return nil
 	})

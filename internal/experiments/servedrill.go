@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/invariant"
+	"repro/internal/obs/tsdb"
 	"repro/internal/serve"
 )
 
@@ -46,6 +47,9 @@ type ServeDrillResult struct {
 	// Fingerprint is the audit export's FNV-1a hash.
 	ReplayIdentical bool
 	Fingerprint     uint64
+	// Alerts is the SLO engine's transition log (empty unless the run
+	// was given a tsdb via Opts.TSDB).
+	Alerts []tsdb.Alert
 }
 
 // ServeOutcomeRow is one ledger line.
@@ -87,6 +91,10 @@ func ServeDrillRun(o Opts) (ServeDrillResult, error) {
 		cfg := serve.DrillConfig{Seed: o.Seed, Faults: inj}
 		if metered {
 			cfg.Metrics = o.Metrics
+			// Only the primary run scrapes: the shared tsdb would see
+			// the replay as a second, slot-regressing pass.
+			cfg.TSDB = o.TSDB
+			cfg.Events = o.Trace
 		}
 		return serve.Drill(cfg)
 	}
@@ -107,6 +115,7 @@ func ServeDrillRun(o Opts) (ServeDrillResult, error) {
 		Checkers:        invariant.ServeCheckers(),
 		Fingerprint:     res.Fingerprint,
 		ReplayIdentical: res.Fingerprint == replay.Fingerprint,
+		Alerts:          res.Alerts,
 	}
 	for _, m := range res.Published {
 		out.Versions += len(m)
@@ -166,6 +175,12 @@ func (r ServeDrillResult) Render() string {
 	b.WriteString(fmt.Sprintf("\ninvariants (%s): %s\n", strings.Join(r.Checkers, ", "), verdict))
 	for _, v := range r.Violations {
 		b.WriteString(fmt.Sprintf("  %s slot %d: %s\n", v.Checker, v.Slot, v.Detail))
+	}
+	if len(r.Alerts) > 0 {
+		b.WriteString("\nSLO alerts:\n")
+		for _, a := range r.Alerts {
+			b.WriteString("  " + a.String() + "\n")
+		}
 	}
 	replay := "byte-identical"
 	if !r.ReplayIdentical {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/instances"
+	"repro/internal/obs/tsdb"
 	"repro/internal/timeslot"
 	"repro/internal/trace"
 )
@@ -73,6 +74,20 @@ func Table3(o Opts) (Table3Result, error) {
 			return Table3Result{}, err
 		}
 		o.Metrics.Counter("experiments.table3.types").Inc()
+		if o.TSDB != nil {
+			// Table 3 has no slot loop — it is pure computation over a
+			// generated history — so the per-type bids are recorded as
+			// one sample each at the history's final slot, labelled by
+			// market. This is the cross-type comparison series, not a
+			// time walk.
+			ls := tsdb.L("type", string(typ))
+			slot := tr.Len() - 1
+			o.TSDB.Append("table3.on_demand", ls, slot, m.OnDemand)
+			o.TSDB.Append("table3.one_time_bid", ls, slot, oneTime.Price)
+			o.TSDB.Append("table3.persistent_bid_10s", ls, slot, p10.Price)
+			o.TSDB.Append("table3.persistent_bid_30s", ls, slot, p30.Price)
+			o.TSDB.Append("table3.best_offline", ls, slot, best)
+		}
 		res.Rows = append(res.Rows, Table3Row{
 			Type:                 typ,
 			OnDemand:             m.OnDemand,

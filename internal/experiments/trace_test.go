@@ -13,7 +13,7 @@ import (
 // home region armed with a forced outage — with the given recorder.
 func tracedFailover(t *testing.T, rec *event.Recorder) fleet.Report {
 	t.Helper()
-	rep, _, err := failoverRun(2, 1.0, 11, 0, 63, nil, rec)
+	rep, _, err := failoverRun(2, 1.0, 11, 0, 63, nil, rec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs/tsdb"
+)
+
+// failoverDump runs a small FailoverSweep with a tsdb attached and
+// returns the dump.
+func failoverDump(t *testing.T) []byte {
+	t.Helper()
+	db := tsdb.New(tsdb.Config{})
+	if _, err := FailoverSweep(Opts{Seed: 3, Runs: 2, Days: 63, TSDB: db}); err != nil {
+		t.Fatal(err)
+	}
+	return db.DumpJSONL()
+}
+
+// TestFailoverSweepTSDBDeterminism: the sweep shares one DB across all
+// cells (run-0s serialized in cell order); two identical sweeps must
+// dump identical bytes.
+func TestFailoverSweepTSDBDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run fleet sweep")
+	}
+	a := failoverDump(t)
+	if len(a) == 0 {
+		t.Fatal("empty dump")
+	}
+	b := failoverDump(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical sweeps dumped different tsdb bytes")
+	}
+
+	// The dump carries the sweep's own signal set: breaker and health
+	// step series per member plus the per-cell outcome series.
+	series, err := tsdb.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"fleet.breaker", "fleet.health", "failover.fleet_cost", "failover.od_cost", "failover.savings"} {
+		if !names[want] {
+			t.Fatalf("dump missing %q series; have %v", want, names)
+		}
+	}
+}
+
+// TestServeDrillRunTSDB: the experiments-facing drill threads the tsdb
+// through and surfaces the SLO walk.
+func TestServeDrillRunTSDB(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	res, err := ServeDrillRun(Opts{Seed: 1, TSDB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(res.Alerts) == 0 {
+		t.Fatal("drill produced no SLO alerts")
+	}
+	if db.NumSeries() == 0 {
+		t.Fatal("drill scraped nothing")
+	}
+	// The render mentions the alerts.
+	if out := res.Render(); !bytes.Contains([]byte(out), []byte("SLO alerts:")) {
+		t.Fatalf("render missing SLO alerts section:\n%s", out)
+	}
+}

@@ -110,6 +110,12 @@ type Config struct {
 	// leaves all members untouched, keeping seeded fleet runs
 	// bit-identical to an uninstrumented controller.
 	Trace *event.Recorder
+	// OnSlot, when non-nil, runs at the end of every Tick — after the
+	// members advanced and the breaker bookkeeping settled — with the
+	// slot the fleet just ticked into. It is the observation hook the
+	// tsdb scrapers attach to; it must not call back into the
+	// controller's mutating API.
+	OnSlot func(slot int)
 }
 
 // defaultHealthWeights are the DESIGN.md §8 weights for the five
@@ -357,6 +363,9 @@ func (f *Controller) Tick() error {
 	}
 	f.retryOrphans()
 	f.observe()
+	if f.cfg.OnSlot != nil {
+		f.cfg.OnSlot(f.now())
+	}
 	if f.active >= 0 && !f.escalated && f.members[f.active].tripped {
 		return ErrBreakerOpen
 	}

@@ -84,6 +84,9 @@ const (
 	CheckpointImport
 	// LegComplete: one leg of a job finished; Value carries its cost.
 	LegComplete
+	// Alert: an SLO burn-rate alert transitioned; Subject names the
+	// SLO, Cause is "firing" or "resolved", Value carries the burn.
+	Alert
 
 	numKinds
 )
@@ -104,6 +107,7 @@ var kindNames = [numKinds]string{
 	CheckpointExport:  "checkpoint-export",
 	CheckpointImport:  "checkpoint-import",
 	LegComplete:       "leg-complete",
+	Alert:             "alert",
 }
 
 // String returns the kind's stable wire name.

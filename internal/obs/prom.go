@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a Snapshot.
+// Zero dependencies, same determinism contract as the JSON rendering:
+// a snapshot writes the same bytes every time — metrics sorted by
+// name, buckets in ascending `le` order, floats in Go's shortest
+// round-trip form.
+
+// PromContentType is the Content-Type an HTTP handler must send with
+// WriteProm output.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps an obs metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. The repo's dotted names ("serve.builds")
+// become underscored ("serve_builds"); anything else out of the
+// alphabet is underscored too.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's 'g' forms
+// plus the special spellings +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the snapshot in the Prometheus text format.
+// Counters expose as `<name> <value>` with TYPE counter, gauges with
+// TYPE gauge, histograms as the conventional triplet —
+// `<name>_bucket{le="..."}` cumulative (including le="+Inf"),
+// `<name>_sum`, `<name>_count` — plus `<name>_rejected` as a counter
+// for the NaN/−Inf observations obs histograms turn away (Prometheus
+// histograms have no such concept, so it rides as a sibling counter).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		bw.WriteString("# TYPE " + n + " counter\n")
+		bw.WriteString(n + " " + strconv.FormatInt(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		bw.WriteString("# TYPE " + n + " gauge\n")
+		bw.WriteString(n + " " + promFloat(g.Value) + "\n")
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		bw.WriteString("# TYPE " + n + " histogram\n")
+		cum := int64(0)
+		for i, u := range h.Uppers {
+			cum += h.Counts[i]
+			bw.WriteString(n + `_bucket{le="` + promFloat(u) + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+		}
+		bw.WriteString(n + `_bucket{le="+Inf"} ` + strconv.FormatInt(h.Count, 10) + "\n")
+		bw.WriteString(n + "_sum " + promFloat(h.Sum) + "\n")
+		bw.WriteString(n + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+		if h.Rejected > 0 {
+			bw.WriteString("# TYPE " + n + "_rejected counter\n")
+			bw.WriteString(n + "_rejected " + strconv.FormatInt(h.Rejected, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// Prom renders WriteProm to a string.
+func (s Snapshot) Prom() string {
+	var b strings.Builder
+	s.WriteProm(&b)
+	return b.String()
+}

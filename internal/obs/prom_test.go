@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.builds":          "serve_builds",
+		"serve.outcome.shed":    "serve_outcome_shed",
+		"already_fine:colon":    "already_fine:colon",
+		"9starts.with.digit":    "_9starts_with_digit",
+		"weird chars-and/slash": "weird_chars_and_slash",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("serve.builds").Add(7)
+	r.Gauge("serve.slot").Set(42.5)
+	h := r.Histogram("serve.age_slots", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10)           // overflow
+	h.Observe(math.NaN())   // rejected
+	h.Observe(math.Inf(-1)) // rejected
+
+	got := r.Snapshot().Prom()
+	want := `# TYPE serve_builds counter
+serve_builds 7
+# TYPE serve_slot gauge
+serve_slot 42.5
+# TYPE serve_age_slots histogram
+serve_age_slots_bucket{le="1"} 1
+serve_age_slots_bucket{le="2"} 2
+serve_age_slots_bucket{le="+Inf"} 3
+serve_age_slots_sum 12
+serve_age_slots_count 3
+# TYPE serve_age_slots_rejected counter
+serve_age_slots_rejected 2
+`
+	if got != want {
+		t.Fatalf("Prom() =\n%s\nwant:\n%s", got, want)
+	}
+	// Byte-stable across renders.
+	if again := r.Snapshot().Prom(); again != got {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestWritePromEmptyAndSpecials(t *testing.T) {
+	if got := (Snapshot{}).Prom(); got != "" {
+		t.Fatalf("empty snapshot rendered %q", got)
+	}
+	r := New()
+	r.Gauge("g.inf").Set(math.Inf(1))
+	out := r.Snapshot().Prom()
+	if !strings.Contains(out, "g_inf +Inf\n") {
+		t.Fatalf("infinite gauge rendered as %q", out)
+	}
+}

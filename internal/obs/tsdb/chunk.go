@@ -1,0 +1,139 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The sample encoding. A chunk is a self-contained byte string holding
+// up to chunkCap (slot, value) samples:
+//
+//   - Slots are stored delta-of-delta: the first sample carries its
+//     absolute slot, every later one the change in the slot *delta*
+//     (Facebook Gorilla §4.1.1). A scrape at a fixed cadence — the only
+//     producer in this repo — makes every delta-of-delta zero: one
+//     byte per slot after the second sample.
+//   - Values are stored as the XOR of their IEEE-754 bits with the
+//     previous sample's bits. An unchanged value (step series: breaker
+//     states, ladder tiers, firing flags, idle counters) XORs to zero:
+//     one byte. Values of similar magnitude share sign and exponent,
+//     so the XOR keeps only low mantissa bits and stays short.
+//
+// Both streams are varint-coded with encoding/binary's uvarint
+// (zig-zag for the signed slot terms). The encoding is byte-exact:
+// the same sample sequence always yields the same bytes, and a
+// decode→re-encode round trip is byte-identical (FuzzTSDBDecode
+// enforces both), which is what makes tsdb dumps a determinism
+// artifact rather than just a debugging aid.
+
+// chunkCap is the number of samples a chunk seals at. 240 samples at
+// a fixed cadence cost ~2 bytes each, so a sealed chunk is a few
+// hundred bytes — small enough that evicting whole chunks (see
+// Series.append) keeps the per-series memory bound tight.
+const chunkCap = 240
+
+// chunk is one encoded run of samples. Only the last chunk of a
+// series is open for appends; sealed chunks are immutable.
+type chunk struct {
+	buf   []byte
+	n     int // samples encoded
+	first int // slot of the first sample (valid when n > 0)
+	last  int // slot of the last sample (valid when n > 0)
+}
+
+// encState is the appender state the delta-of-delta/XOR coder carries
+// between samples of one open chunk.
+type encState struct {
+	prevDelta int    // last slot delta (0 before the second sample)
+	lastBits  uint64 // last value's IEEE-754 bits
+}
+
+// zigzag maps a signed int onto an unsigned one with small absolute
+// values staying small (the protobuf sint encoding).
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendSample encodes one sample into the chunk, updating st. The
+// caller guarantees slot ≥ c.last for a non-empty chunk.
+func (c *chunk) appendSample(st *encState, slot int, value float64) {
+	var tmp [binary.MaxVarintLen64]byte
+	bits := math.Float64bits(value)
+	if c.n == 0 {
+		c.first = slot
+		c.buf = append(c.buf, tmp[:binary.PutUvarint(tmp[:], zigzag(int64(slot)))]...)
+		c.buf = append(c.buf, tmp[:binary.PutUvarint(tmp[:], bits)]...)
+		st.prevDelta = 0
+	} else {
+		delta := slot - c.last
+		dod := delta - st.prevDelta
+		st.prevDelta = delta
+		c.buf = append(c.buf, tmp[:binary.PutUvarint(tmp[:], zigzag(int64(dod)))]...)
+		c.buf = append(c.buf, tmp[:binary.PutUvarint(tmp[:], bits^st.lastBits)]...)
+	}
+	st.lastBits = bits
+	c.last = slot
+	c.n++
+}
+
+// decode appends the chunk's samples onto dst. Errors are
+// impossible for chunks this package wrote; decodeChunkBytes carries
+// the defensive path for foreign bytes.
+func (c *chunk) decode(dst []Point) []Point {
+	pts, err := decodeChunkBytes(c.buf, c.n, dst)
+	if err != nil {
+		// Unreachable for self-written chunks; fail loudly rather than
+		// return silently truncated data.
+		panic(fmt.Sprintf("tsdb: corrupt self-written chunk: %v", err))
+	}
+	return pts
+}
+
+// decodeChunkBytes decodes up to max samples from an encoded chunk
+// body, appending onto dst. It never panics: foreign or truncated
+// bytes yield an error (the fuzz target's contract). max < 0 decodes
+// until the buffer is exhausted.
+func decodeChunkBytes(buf []byte, max int, dst []Point) ([]Point, error) {
+	var (
+		slot      int64
+		prevDelta int64
+		bits      uint64
+	)
+	for i := 0; max < 0 || i < max; i++ {
+		if len(buf) == 0 {
+			if max < 0 {
+				return dst, nil
+			}
+			return dst, fmt.Errorf("tsdb: chunk truncated at sample %d", i)
+		}
+		u, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return dst, fmt.Errorf("tsdb: bad slot varint at sample %d", i)
+		}
+		buf = buf[n:]
+		x, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return dst, fmt.Errorf("tsdb: bad value varint at sample %d", i)
+		}
+		buf = buf[n:]
+		if i == 0 {
+			slot = unzigzag(u)
+			bits = x
+		} else {
+			delta := prevDelta + unzigzag(u)
+			prevDelta = delta
+			slot += delta
+			bits ^= x
+		}
+		if slot < math.MinInt32 || slot > math.MaxInt32 {
+			return dst, fmt.Errorf("tsdb: slot %d outside int32 at sample %d", slot, i)
+		}
+		dst = append(dst, Point{Slot: int(slot), Value: math.Float64frombits(bits)})
+	}
+	if len(buf) != 0 {
+		return dst, fmt.Errorf("tsdb: %d trailing bytes after %d samples", len(buf), max)
+	}
+	return dst, nil
+}

@@ -1,0 +1,159 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dump formats. Both are hand-rolled so the byte sequence is under
+// this package's control, not a library's: series in All() order
+// (sorted canonical key), labels in sorted key order, float values in
+// Go's shortest round-trip form. Two runs of the same seed produce
+// the same bytes — the double-run determinism tests diff dumps
+// directly.
+
+// formatValue renders a sample value for both dump formats.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSONL writes one JSON object per series:
+//
+//	{"series":"serve.builds","labels":{"region":"us-east"},"points":[[0,1],[4,2]]}
+//
+// Points are [slot, value] pairs. The labels key is omitted for
+// unlabelled series.
+func (db *DB) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range db.All() {
+		bw.WriteString(`{"series":`)
+		bw.WriteString(quoteJSON(s.Name))
+		if len(s.Labels) > 0 {
+			bw.WriteString(`,"labels":{`)
+			for i, l := range s.Labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(quoteJSON(l.Key))
+				bw.WriteByte(':')
+				bw.WriteString(quoteJSON(l.Value))
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteString(`,"points":[`)
+		var num []byte
+		for i, p := range s.Points {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			num = append(num[:0], '[')
+			num = strconv.AppendInt(num, int64(p.Slot), 10)
+			num = append(num, ',')
+			num = strconv.AppendFloat(num, p.Value, 'g', -1, 64)
+			num = append(num, ']')
+			bw.Write(num)
+		}
+		bw.WriteString("]}\n")
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the long form — one row per sample:
+//
+//	series,labels,slot,value
+//	serve.builds,"{region=""us-east""}",0,1
+func (db *DB) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("series,labels,slot,value\n")
+	var num []byte
+	for _, s := range db.All() {
+		labels := csvQuote(s.Labels.String())
+		for _, p := range s.Points {
+			bw.WriteString(s.Name)
+			bw.WriteByte(',')
+			bw.WriteString(labels)
+			num = append(num[:0], ',')
+			num = strconv.AppendInt(num, int64(p.Slot), 10)
+			num = append(num, ',')
+			num = strconv.AppendFloat(num, p.Value, 'g', -1, 64)
+			num = append(num, '\n')
+			bw.Write(num)
+		}
+	}
+	return bw.Flush()
+}
+
+// quoteJSON renders a JSON string literal. Metric names and labels
+// are plain ASCII in this repo, but quote properly anyway.
+func quoteJSON(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// csvQuote wraps a field in quotes when it needs them (RFC 4180).
+func csvQuote(s string) string {
+	if s == "" {
+		return s
+	}
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// jsonlSeries mirrors one WriteJSONL line for decoding.
+type jsonlSeries struct {
+	Series string            `json:"series"`
+	Labels map[string]string `json:"labels"`
+	Points [][2]float64      `json:"points"`
+}
+
+// ReadJSONL parses a WriteJSONL dump back into decoded series, in
+// file order. cmd/spotbidtop replays dumps through this.
+func ReadJSONL(r io.Reader) ([]SeriesData, error) {
+	var out []SeriesData
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var js jsonlSeries
+		if err := json.Unmarshal([]byte(text), &js); err != nil {
+			return nil, fmt.Errorf("tsdb: dump line %d: %w", line, err)
+		}
+		if js.Series == "" {
+			return nil, fmt.Errorf("tsdb: dump line %d: missing series name", line)
+		}
+		sd := SeriesData{Name: js.Series}
+		if len(js.Labels) > 0 {
+			kv := make([]string, 0, 2*len(js.Labels))
+			for k, v := range js.Labels {
+				kv = append(kv, k, v)
+			}
+			sd.Labels = L(kv...)
+		}
+		sd.Points = make([]Point, 0, len(js.Points))
+		for _, p := range js.Points {
+			sd.Points = append(sd.Points, Point{Slot: int(p[0]), Value: p[1]})
+		}
+		out = append(out, sd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: reading dump: %w", err)
+	}
+	return out, nil
+}
+
+// DumpJSONL renders the JSONL dump as a byte slice — the determinism
+// artifact drill/sweep results carry.
+func (db *DB) DumpJSONL() []byte {
+	var b strings.Builder
+	db.WriteJSONL(&b)
+	return []byte(b.String())
+}

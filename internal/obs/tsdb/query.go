@@ -1,0 +1,196 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// The query layer: window functions over decoded points. Windows are
+// half-open on the left — (from, to] — matching how cumulative
+// counters are differenced: the increase over a window is the value
+// at `to` minus the value at `from`, so adjacent windows tile without
+// double-counting.
+
+// Range returns the points with from < Slot ≤ to, preserving order.
+func Range(pts []Point, from, to int) []Point {
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].Slot > from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].Slot > to })
+	return pts[lo:hi]
+}
+
+// At returns the value of the last point with Slot ≤ slot, false when
+// no sample exists that early.
+func At(pts []Point, slot int) (float64, bool) {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Slot > slot })
+	if i == 0 {
+		return 0, false
+	}
+	return pts[i-1].Value, true
+}
+
+// Last returns the newest point, false on an empty series.
+func Last(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Increase returns the growth of a cumulative counter series over
+// (from, to]: value at `to` minus value at `from`, each read as the
+// last sample at or before the boundary. A boundary before the first
+// sample reads 0 — the counter began at zero. Counter resets are not
+// detected (the repo's registries never reset mid-run).
+func Increase(pts []Point, from, to int) float64 {
+	vTo, ok := At(pts, to)
+	if !ok {
+		return 0
+	}
+	vFrom, _ := At(pts, from)
+	return vTo - vFrom
+}
+
+// Rate returns Increase over (from, to] divided by the window length
+// in slots — the per-slot rate of a cumulative counter. A degenerate
+// window (to ≤ from) returns 0.
+func Rate(pts []Point, from, to int) float64 {
+	if to <= from {
+		return 0
+	}
+	return Increase(pts, from, to) / float64(to-from)
+}
+
+// SumOver returns the sum of sample values in (from, to].
+func SumOver(pts []Point, from, to int) float64 {
+	var sum float64
+	for _, p := range Range(pts, from, to) {
+		sum += p.Value
+	}
+	return sum
+}
+
+// AvgOver returns the mean of sample values in (from, to], NaN when
+// the window holds no samples.
+func AvgOver(pts []Point, from, to int) float64 {
+	r := Range(pts, from, to)
+	if len(r) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, p := range r {
+		sum += p.Value
+	}
+	return sum / float64(len(r))
+}
+
+// MinMaxOver returns the extremes of sample values in (from, to],
+// false when the window holds no samples.
+func MinMaxOver(pts []Point, from, to int) (lo, hi float64, ok bool) {
+	r := Range(pts, from, to)
+	if len(r) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = r[0].Value, r[0].Value
+	for _, p := range r[1:] {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	return lo, hi, true
+}
+
+// HistQuantile estimates the q-th quantile of a scraped histogram
+// over the window (from, to]. The scraper stores each obs histogram
+// as cumulative per-bucket counter series "<name>:bucket" with an
+// `le` label per upper bound (see scrape.go); this selects them,
+// differences each over the window, and interpolates inside the
+// bucket holding the q-th observation — the same upper-bound
+// convention as obs.Histogram.Quantile. It returns NaN when the
+// window saw no observations and the last finite bound when the
+// quantile lands in the +Inf overflow bucket. q outside [0,1] panics.
+func (db *DB) HistQuantile(name string, labels Labels, from, to int, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("tsdb: HistQuantile argument outside [0,1]")
+	}
+	type bucket struct {
+		upper float64 // +Inf for the overflow bucket
+		n     float64 // observations ≤ upper in the window
+	}
+	var buckets []bucket
+	prefix := name + bucketSuffix
+	db.mu.Lock()
+	for _, s := range db.series {
+		if s.Name != prefix || !labelsSubset(labels, s.Labels) {
+			continue
+		}
+		le, ok := labelValue(s.Labels, "le")
+		if !ok {
+			continue
+		}
+		var upper float64
+		if le == "+Inf" {
+			upper = math.Inf(1)
+		} else if u, err := strconv.ParseFloat(le, 64); err == nil {
+			upper = u
+		} else {
+			continue
+		}
+		buckets = append(buckets, bucket{upper: upper, n: Increase(s.points(), from, to)})
+	}
+	db.mu.Unlock()
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].upper < buckets[j].upper })
+	total := buckets[len(buckets)-1].n // counts are cumulative in le
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, b := range buckets {
+		if rank > b.n {
+			continue
+		}
+		if math.IsInf(b.upper, 1) {
+			// Overflow bucket: no finite upper edge; return the last
+			// finite bound, matching obs.Histogram's conservatism.
+			if i > 0 {
+				return buckets[i-1].upper
+			}
+			return math.NaN()
+		}
+		lo := 0.0
+		inBucket := b.n
+		if i > 0 {
+			lo = buckets[i-1].upper
+			inBucket -= buckets[i-1].n
+		}
+		frac := 0.0
+		if inBucket > 0 {
+			frac = (rank - (b.n - inBucket)) / inBucket
+		}
+		return lo + frac*(b.upper-lo)
+	}
+	return buckets[len(buckets)-1].upper
+}
+
+// labelValue returns the value of key in ls.
+func labelValue(ls Labels, key string) (string, bool) {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// labelsSubset reports whether every label of sub appears in ls.
+func labelsSubset(sub, ls Labels) bool {
+	for _, want := range sub {
+		got, ok := labelValue(ls, want.Key)
+		if !ok || got != want.Value {
+			return false
+		}
+	}
+	return true
+}

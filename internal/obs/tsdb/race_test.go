@@ -1,0 +1,68 @@
+package tsdb
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestScrapeDuringEmitRace hammers one DB from four directions at
+// once — a scrape loop snapshotting a registry under live emission,
+// direct appends, window queries, and dump writers — and lets the
+// race detector judge. Run via `make race-obs`.
+func TestScrapeDuringEmitRace(t *testing.T) {
+	reg := obs.New()
+	db := New(Config{SamplesPerSeries: 1024})
+	s := NewScraper(db, ScrapeConfig{Registry: reg, Every: 1, Labels: L("cell", "race")})
+	s.AddSource(func(slot int, app Appender) {
+		app("derived.step", L("k", "v"), float64(slot%3))
+	})
+
+	const iters = 400
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				fn(i)
+			}
+		}()
+	}
+
+	// Live registry traffic — what the scrape races against.
+	run(func(i int) {
+		reg.Counter("hammer.count").Inc()
+		reg.Gauge("hammer.gauge").Set(float64(i))
+		reg.Histogram("hammer.lat", obs.MicrosBuckets).Observe(float64(i % 500))
+	})
+	// The scrape loop (single goroutine, as in production).
+	run(func(i int) { s.Tick(i) })
+	// Direct appends to an unrelated series.
+	run(func(i int) { db.Append("direct", L("g", "2"), i, float64(i)) })
+	// Readers: queries and both dump formats.
+	run(func(i int) {
+		db.Points("direct", L("g", "2"))
+		db.HistQuantile("hammer.lat", nil, 0, i, 0.99)
+		if i%50 == 0 {
+			db.WriteJSONL(io.Discard)
+			db.WriteCSV(io.Discard)
+			db.All()
+		}
+	})
+
+	close(start)
+	wg.Wait()
+
+	if db.NumSeries() == 0 {
+		t.Fatal("hammer stored nothing")
+	}
+	// The scrape loop itself never produced out-of-order appends.
+	if got := len(db.Points("derived.step", L("cell", "race", "k", "v"))); got != iters {
+		t.Fatalf("derived series has %d points, want %d", got, iters)
+	}
+}

@@ -1,0 +1,159 @@
+package tsdb
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Series-name suffixes the scraper derives from one obs.Histogram.
+// The colon keeps derived names out of the flat counter/gauge
+// namespace (obs metric names never contain one).
+const (
+	bucketSuffix = ":bucket" // cumulative per-bucket count, `le` label
+	sumSuffix    = ":sum"    // sum of finite observations
+	countSuffix  = ":count"  // binned observations (overflow included)
+)
+
+// Appender records one derived sample; Sources receive one bound to
+// the scrape's slot and base labels.
+type Appender func(name string, labels Labels, value float64)
+
+// SourceFunc is a derived-signal source: called once per scrape to
+// contribute samples that do not live in a registry — ladder tiers as
+// step series, breaker states, per-region health scores, SLO burn
+// rates. Sources run in registration order after the registry
+// snapshot, so one scrape's samples land in a fixed order.
+type SourceFunc func(slot int, app Appender)
+
+// ScrapeConfig tunes a Scraper.
+type ScrapeConfig struct {
+	// Registry is the obs registry snapshotted each scrape (nil: only
+	// Sources contribute).
+	Registry *obs.Registry
+	// Every is the scrape cadence in slots (default 4): Tick scrapes
+	// on slots divisible by Every. Cadence by divisibility rather than
+	// elapsed-since-last keeps two runs' scrape slots identical even
+	// when one starts ticking later.
+	Every int
+	// Labels are stamped on every scraped series — the cell identity
+	// in sweeps that share one DB across configurations.
+	Labels Labels
+}
+
+// Scraper snapshots a registry (and any registered sources) into a DB
+// every K slots. It is the bridge between the point-in-time metrics
+// layer and the time-shaped store: byte-identical registries scraped
+// at the same slots yield byte-identical dumps.
+//
+// A Scraper is driven from one goroutine (a drill loop, a fleet
+// OnSlot hook, spotbidd's feed ticker); the DB underneath is safe for
+// concurrent readers.
+type Scraper struct {
+	db      *DB
+	reg     *obs.Registry
+	every   int
+	base    Labels
+	sources []SourceFunc
+	scrapes int
+	// handles caches the series resolution per derived name (and per
+	// bucket bound) — the scrape's append set is fixed-shape, so the
+	// name+labels key is built once, not once per scrape.
+	handles map[string]*Handle
+}
+
+// NewScraper builds a scraper writing into db.
+func NewScraper(db *DB, cfg ScrapeConfig) *Scraper {
+	if cfg.Every <= 0 {
+		cfg.Every = 4
+	}
+	return &Scraper{db: db, reg: cfg.Registry, every: cfg.Every, base: cfg.Labels,
+		handles: make(map[string]*Handle)}
+}
+
+// AddSource registers a derived-signal source.
+func (s *Scraper) AddSource(src SourceFunc) { s.sources = append(s.sources, src) }
+
+// Every returns the scrape cadence in slots.
+func (s *Scraper) Every() int { return s.every }
+
+// Scrapes reports how many scrapes have run.
+func (s *Scraper) Scrapes() int { return s.scrapes }
+
+// Tick scrapes when slot falls on the cadence and reports whether it
+// did — drivers call it once per slot and chain SLO evaluation off a
+// true return.
+func (s *Scraper) Tick(slot int) bool {
+	if slot%s.every != 0 {
+		return false
+	}
+	s.Scrape(slot)
+	return true
+}
+
+// Scrape snapshots the registry and runs every source at the given
+// slot, unconditionally.
+func (s *Scraper) Scrape(slot int) {
+	s.scrapes++
+	if s.reg != nil {
+		snap := s.reg.Snapshot() // sorted by name: a deterministic append order
+		for _, c := range snap.Counters {
+			s.handle(c.Name, "").Append(slot, float64(c.Value))
+		}
+		for _, g := range snap.Gauges {
+			s.handle(g.Name, "").Append(slot, g.Value)
+		}
+		for _, h := range snap.Histograms {
+			s.handle(h.Name+sumSuffix, "").Append(slot, h.Sum)
+			s.handle(h.Name+countSuffix, "").Append(slot, float64(h.Count))
+			cum := int64(0)
+			for i, u := range h.Uppers {
+				cum += h.Counts[i]
+				s.handle(h.Name+bucketSuffix, formatBound(u)).Append(slot, float64(cum))
+			}
+			s.handle(h.Name+bucketSuffix, "+Inf").Append(slot, float64(h.Count))
+		}
+	}
+	for _, src := range s.sources {
+		src(slot, func(name string, labels Labels, value float64) {
+			if len(labels) == 0 {
+				s.handle(name, "").Append(slot, value)
+				return
+			}
+			s.db.Append(name, s.base.With(pairsOf(labels)...), slot, value)
+		})
+	}
+}
+
+// handle returns the cached series handle for a derived name, keyed
+// by name plus (for bucket series) the `le` bound. The cache key uses
+// a NUL separator, which never occurs in metric names or bounds.
+func (s *Scraper) handle(name, le string) *Handle {
+	key := name
+	if le != "" {
+		key = name + "\x00" + le
+	}
+	h, ok := s.handles[key]
+	if !ok {
+		ls := s.base
+		if le != "" {
+			ls = s.base.With("le", le)
+		}
+		h = s.db.Handle(name, ls)
+		s.handles[key] = h
+	}
+	return h
+}
+
+// formatBound renders a bucket bound the way HistQuantile reparses
+// it: Go's shortest round-trip form.
+func formatBound(u float64) string { return strconv.FormatFloat(u, 'g', -1, 64) }
+
+// pairsOf flattens a label set back into L's argument form.
+func pairsOf(ls Labels) []string {
+	out := make([]string, 0, 2*len(ls))
+	for _, l := range ls {
+		out = append(out, l.Key, l.Value)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLabels(t *testing.T) {
+	ls := L("region", "us-east", "tier", "fresh")
+	if got, want := ls.String(), `{region="us-east",tier="fresh"}`; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// L sorts regardless of argument order.
+	if got := L("tier", "fresh", "region", "us-east").String(); got != ls.String() {
+		t.Fatalf("L is order-sensitive: %q vs %q", got, ls.String())
+	}
+	if got := Labels(nil).String(); got != "" {
+		t.Fatalf("empty labels String() = %q, want empty", got)
+	}
+	ext := ls.With("le", "0.5")
+	if got, want := ext.String(), `{le="0.5",region="us-east",tier="fresh"}`; got != want {
+		t.Fatalf("With() = %q, want %q", got, want)
+	}
+	if len(ls) != 2 {
+		t.Fatalf("With mutated the receiver: %v", ls)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L with odd argument count did not panic")
+		}
+	}()
+	L("odd")
+}
+
+func TestRoundTrip(t *testing.T) {
+	// A mix of shapes the encoder must survive: fixed cadence,
+	// irregular gaps, repeated values, sign flips, tiny and huge
+	// magnitudes, slot zero and negative slots.
+	cases := [][]Point{
+		{{0, 1}},
+		{{-5, -0.25}, {-1, -0.25}, {0, 0}, {4, 1e-300}, {8, 1e300}},
+		{{0, 3}, {4, 3}, {8, 3}, {12, 3}, {16, 7}},
+		{{100, 0.1}, {101, 0.2}, {105, -0.3}, {1000, 12345.6789}},
+	}
+	// Plus a long fixed-cadence random walk spanning several chunks.
+	rng := rand.New(rand.NewSource(1))
+	walk := make([]Point, 0, 3*chunkCap+17)
+	v := 100.0
+	for i := 0; i < cap(walk); i++ {
+		v += rng.Float64() - 0.5
+		walk = append(walk, Point{Slot: 4 * i, Value: v})
+	}
+	cases = append(cases, walk)
+
+	for ci, pts := range cases {
+		db := New(Config{})
+		for _, p := range pts {
+			if !db.Append("m", nil, p.Slot, p.Value) {
+				t.Fatalf("case %d: append %v rejected", ci, p)
+			}
+		}
+		got := db.Points("m", nil)
+		if !reflect.DeepEqual(got, pts) {
+			t.Fatalf("case %d: round trip mismatch:\n got %v\nwant %v", ci, got, pts)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// The headline property of the encoding: a fixed-cadence step
+	// series costs ~2 bytes per sample.
+	var c chunk
+	var st encState
+	for i := 0; i < chunkCap; i++ {
+		c.appendSample(&st, 4*i, 42.0)
+	}
+	if perSample := float64(len(c.buf)) / chunkCap; perSample > 2.2 {
+		t.Fatalf("step series costs %.2f bytes/sample, want ≤ 2.2", perSample)
+	}
+}
+
+func TestAppendRejections(t *testing.T) {
+	db := New(Config{})
+	if db.Append("m", nil, 0, math.NaN()) {
+		t.Fatal("NaN accepted")
+	}
+	if db.Append("m", nil, 0, math.Inf(1)) {
+		t.Fatal("+Inf accepted")
+	}
+	if !db.Append("m", nil, 10, 1) {
+		t.Fatal("valid sample rejected")
+	}
+	if db.Append("m", nil, 9, 2) {
+		t.Fatal("slot regression accepted")
+	}
+	if !db.Append("m", nil, 10, 3) {
+		t.Fatal("same-slot append rejected (non-decreasing should pass)")
+	}
+	if got := db.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if got := len(db.Points("m", nil)); got != 2 {
+		t.Fatalf("retained %d points, want 2", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	db := New(Config{SamplesPerSeries: 500})
+	n := 5 * chunkCap
+	for i := 0; i < n; i++ {
+		db.Append("m", nil, i, float64(i))
+	}
+	pts := db.Points("m", nil)
+	// Chunk-granular eviction: between 500 and 500+chunkCap samples
+	// survive, and they are the newest ones.
+	if len(pts) < 500-chunkCap || len(pts) > 500+chunkCap {
+		t.Fatalf("retained %d samples, want ≈500", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.Slot != n-1 || last.Value != float64(n-1) {
+		t.Fatalf("newest sample = %v, want {%d %d}", last, n-1, n-1)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Slot != pts[i-1].Slot+1 {
+			t.Fatalf("gap after eviction at %v -> %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestAllSortedAndDistinct(t *testing.T) {
+	db := New(Config{})
+	db.Append("b", nil, 0, 1)
+	db.Append("a", L("x", "2"), 0, 1)
+	db.Append("a", L("x", "1"), 0, 1)
+	db.Append("a", nil, 0, 1)
+	all := db.All()
+	keys := make([]string, len(all))
+	for i, s := range all {
+		keys[i] = s.Name + s.Labels.String()
+	}
+	want := []string{"a", `a{x="1"}`, `a{x="2"}`, "b"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("All() order = %v, want %v", keys, want)
+	}
+	if db.NumSeries() != 4 {
+		t.Fatalf("NumSeries() = %d, want 4", db.NumSeries())
+	}
+}
+
+func TestQueryWindows(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 8}, {8, 8}, {12, 20}}
+	if got := Range(pts, 0, 8); !reflect.DeepEqual(got, pts[1:3]) {
+		t.Fatalf("Range(0,8] = %v", got)
+	}
+	if got := Range(pts, 100, 200); len(got) != 0 {
+		t.Fatalf("Range past end = %v", got)
+	}
+	if v, ok := At(pts, 6); !ok || v != 8 {
+		t.Fatalf("At(6) = %v,%v", v, ok)
+	}
+	if _, ok := At(pts, -1); ok {
+		t.Fatal("At before first sample reported ok")
+	}
+	if p, ok := Last(pts); !ok || p != (Point{12, 20}) {
+		t.Fatalf("Last = %v,%v", p, ok)
+	}
+	if _, ok := Last(nil); ok {
+		t.Fatal("Last(nil) reported ok")
+	}
+	// Increase: half-open (from, to]; before-first reads 0.
+	if got := Increase(pts, 0, 12); got != 20 {
+		t.Fatalf("Increase(0,12] = %v, want 20", got)
+	}
+	if got := Increase(pts, -10, 4); got != 8 {
+		t.Fatalf("Increase(-10,4] = %v, want 8", got)
+	}
+	if got := Increase(nil, 0, 10); got != 0 {
+		t.Fatalf("Increase(nil) = %v, want 0", got)
+	}
+	if got := Rate(pts, 4, 12); got != 1.5 {
+		t.Fatalf("Rate(4,12] = %v, want 1.5", got)
+	}
+	if got := Rate(pts, 12, 12); got != 0 {
+		t.Fatalf("degenerate Rate = %v, want 0", got)
+	}
+	if got := SumOver(pts, 0, 12); got != 36 {
+		t.Fatalf("SumOver = %v, want 36", got)
+	}
+	if got := AvgOver(pts, 0, 12); got != 12 {
+		t.Fatalf("AvgOver = %v, want 12", got)
+	}
+	if got := AvgOver(pts, 100, 200); !math.IsNaN(got) {
+		t.Fatalf("empty AvgOver = %v, want NaN", got)
+	}
+	if lo, hi, ok := MinMaxOver(pts, -1, 12); !ok || lo != 0 || hi != 20 {
+		t.Fatalf("MinMaxOver = %v,%v,%v", lo, hi, ok)
+	}
+	if _, _, ok := MinMaxOver(pts, 50, 60); ok {
+		t.Fatal("empty MinMaxOver reported ok")
+	}
+}
+
+func TestScraperRegistry(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("c.total").Add(5)
+	reg.Gauge("g.now").Set(1.5)
+	h := reg.Histogram("h.lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99) // overflow
+
+	db := New(Config{})
+	s := NewScraper(db, ScrapeConfig{Registry: reg, Every: 4, Labels: L("region", "r1")})
+	if s.Tick(2) {
+		t.Fatal("Tick off cadence scraped")
+	}
+	if !s.Tick(8) {
+		t.Fatal("Tick on cadence did not scrape")
+	}
+	if s.Scrapes() != 1 {
+		t.Fatalf("Scrapes() = %d", s.Scrapes())
+	}
+	base := L("region", "r1")
+	check := func(name string, ls Labels, want float64) {
+		t.Helper()
+		pts := db.Points(name, ls)
+		if len(pts) != 1 || pts[0] != (Point{8, want}) {
+			t.Fatalf("%s%s = %v, want [{8 %v}]", name, ls, pts, want)
+		}
+	}
+	check("c.total", base, 5)
+	check("g.now", base, 1.5)
+	check("h.lat:sum", base, 0.5+1.5+99)
+	check("h.lat:count", base, 3)
+	check("h.lat:bucket", base.With("le", "1"), 1)
+	check("h.lat:bucket", base.With("le", "2"), 2)
+	check("h.lat:bucket", base.With("le", "+Inf"), 3)
+}
+
+func TestScraperSources(t *testing.T) {
+	db := New(Config{})
+	s := NewScraper(db, ScrapeConfig{Every: 2, Labels: L("cell", "a")})
+	s.AddSource(func(slot int, app Appender) {
+		app("derived.tier", L("market", "m1"), float64(slot))
+	})
+	s.Scrape(6)
+	pts := db.Points("derived.tier", L("cell", "a", "market", "m1"))
+	if len(pts) != 1 || pts[0] != (Point{6, 6}) {
+		t.Fatalf("source sample = %v", pts)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("lat", []float64{10, 20, 40})
+	db := New(Config{})
+	s := NewScraper(db, ScrapeConfig{Registry: reg, Every: 1})
+	s.Scrape(0)
+	for i := 0; i < 80; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(15) // second bucket
+	}
+	s.Scrape(10)
+	// 100 observations in (0,10]: p50 inside (0,10], p90 at its top,
+	// p95 interpolated inside (10,20].
+	if got := db.HistQuantile("lat", nil, 0, 10, 0.5); got != 6.25 {
+		t.Fatalf("p50 = %v, want 6.25 (50/80 into bucket (0,10])", got)
+	}
+	if got := db.HistQuantile("lat", nil, 0, 10, 0.95); got != 17.5 {
+		t.Fatalf("p95 = %v, want 17.5 (15/20 into bucket (10,20])", got)
+	}
+	// Empty window: NaN.
+	if got := db.HistQuantile("lat", nil, 20, 30, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty-window quantile = %v, want NaN", got)
+	}
+	// Overflow-heavy: returns last finite bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e6)
+	}
+	s.Scrape(20)
+	if got := db.HistQuantile("lat", nil, 10, 20, 0.99); got != 40 {
+		t.Fatalf("overflow p99 = %v, want 40 (last finite bound)", got)
+	}
+	// Unknown histogram: NaN.
+	if got := db.HistQuantile("nope", nil, 0, 10, 0.5); !math.IsNaN(got) {
+		t.Fatalf("unknown-histogram quantile = %v, want NaN", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HistQuantile(q=2) did not panic")
+		}
+	}()
+	db.HistQuantile("lat", nil, 0, 10, 2)
+}
+
+func TestDumpFormatsAndReplay(t *testing.T) {
+	db := New(Config{})
+	db.Append("b.count", L("region", "r1"), 0, 1)
+	db.Append("b.count", L("region", "r1"), 4, 3)
+	db.Append("a.gauge", nil, 2, 0.125)
+
+	var jsonl bytes.Buffer
+	if err := db.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL := `{"series":"a.gauge","points":[[2,0.125]]}
+{"series":"b.count","labels":{"region":"r1"},"points":[[0,1],[4,3]]}
+`
+	if jsonl.String() != wantJSONL {
+		t.Fatalf("JSONL dump:\n%s\nwant:\n%s", jsonl.String(), wantJSONL)
+	}
+	if !bytes.Equal(db.DumpJSONL(), jsonl.Bytes()) {
+		t.Fatal("DumpJSONL differs from WriteJSONL")
+	}
+
+	var csv bytes.Buffer
+	if err := db.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := `series,labels,slot,value
+a.gauge,,2,0.125
+b.count,"{region=""r1""}",0,1
+b.count,"{region=""r1""}",4,3
+`
+	if csv.String() != wantCSV {
+		t.Fatalf("CSV dump:\n%s\nwant:\n%s", csv.String(), wantCSV)
+	}
+
+	// Replay: parse the JSONL back and compare against All().
+	got, err := ReadJSONL(strings.NewReader(jsonl.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, db.All()) {
+		t.Fatalf("ReadJSONL round trip:\n got %v\nwant %v", got, db.All())
+	}
+	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("ReadJSONL accepted malformed input")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"points":[[0,1]]}` + "\n")); err == nil {
+		t.Fatal("ReadJSONL accepted a line without a series name")
+	}
+}
+
+func TestDumpDeterminism(t *testing.T) {
+	build := func() []byte {
+		db := New(Config{})
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			db.Append("walk", L("cell", "x"), 2*i, rng.NormFloat64())
+			db.Append("step", nil, 2*i, float64(i/100))
+		}
+		return db.DumpJSONL()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("two identical builds dumped different bytes")
+	}
+}

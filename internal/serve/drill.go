@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/instances"
 	"repro/internal/obs"
+	"repro/internal/obs/event"
+	"repro/internal/obs/tsdb"
 	"repro/internal/trace"
 )
 
@@ -41,6 +43,16 @@ type DrillConfig struct {
 	BurstSize int
 	// Metrics, when non-nil, receives the server's serve.* metrics.
 	Metrics *obs.Registry
+	// TSDB, when non-nil, receives a scrape of the server's registry
+	// (a private one is created when Metrics is nil) every ScrapeEvery
+	// slots, plus the ladder tier as a step series, and turns on the
+	// DefaultSLOs burn-rate engine: DrillResult carries the dump and
+	// the alert transitions.
+	TSDB *tsdb.DB
+	// ScrapeEvery is the scrape cadence in slots (default 4).
+	ScrapeEvery int
+	// Events, when non-nil, receives the SLO engine's Alert events.
+	Events *event.Recorder
 }
 
 func (c DrillConfig) withDefaults() DrillConfig {
@@ -91,6 +103,11 @@ type DrillResult struct {
 	// artifact; Fingerprint is its FNV-1a hash.
 	AuditJSONL  []byte
 	Fingerprint uint64
+	// TSDBDump is the scraped time-series store as JSONL (nil unless
+	// DrillConfig.TSDB was set) — the second replay artifact; Alerts
+	// is the SLO engine's transition log over the run.
+	TSDBDump []byte
+	Alerts   []tsdb.Alert
 }
 
 // drillConfig builds the Server configuration the drill runs: a small
@@ -121,11 +138,68 @@ func drillServerConfig(c DrillConfig) Config {
 	}
 }
 
+// outcomeSelectors builds tsdb selectors for the given outcomes.
+func outcomeSelectors(outs ...Outcome) []tsdb.Selector {
+	sels := make([]tsdb.Selector, len(outs))
+	for i, o := range outs {
+		sels[i] = tsdb.Selector{Name: "serve.outcome." + o.String()}
+	}
+	return sels
+}
+
+// DefaultSLOs is the control plane's objective set, shared by the
+// drill, cmd/spotbidd, and cmd/spotbidtop.
+//
+// fresh-tier-ratio: ≥ 99% of data-quality answers come off a fresh
+// table. Good is served_fresh; Total is the data-quality outcomes only
+// (fresh/stale serves plus staleness refusals). Cold refusals are
+// excluded — before the first table there is no staleness story to
+// tell, and counting warm-up would fire the alert at every process
+// start. Policy refusals (Eq. 14 infeasibility, draining) and
+// admission sheds answer a different question and would mask a
+// staleness incident behind a price spike. The 48/6-slot rule at 6x
+// burn fires ≈ 20 slots into a full staleness outage and resolves
+// within a long window of recovery.
+//
+// shed-rate: ≥ 95% of all requests escape the shedder. Good is
+// everything but the two shed outcomes; Total is every request. The
+// 48/6-slot rule at 3x burn (≥ 15% shedding) catches the burst and
+// deadline-skew incidents without firing on background load.
+func DefaultSLOs() []tsdb.SLO {
+	return []tsdb.SLO{
+		{
+			Name: "fresh-tier-ratio",
+			Good: outcomeSelectors(OutcomeServedFresh),
+			Total: outcomeSelectors(OutcomeServedFresh, OutcomeServedStale,
+				OutcomeRefusedStale),
+			Objective: 0.99,
+			Windows:   []tsdb.BurnRule{{LongSlots: 48, ShortSlots: 6, MaxBurn: 6}},
+		},
+		{
+			Name: "shed-rate",
+			Good: outcomeSelectors(OutcomeServedFresh, OutcomeServedStale,
+				OutcomeRefusedStale, OutcomeRefusedCold, OutcomeRefusedInfeasible,
+				OutcomeRefusedDraining, OutcomeRejectedInvalid),
+			Total: outcomeSelectors(OutcomeServedFresh, OutcomeServedStale,
+				OutcomeRefusedStale, OutcomeRefusedCold, OutcomeRefusedInfeasible,
+				OutcomeRefusedDraining, OutcomeRejectedInvalid,
+				OutcomeShedCapacity, OutcomeShedDeadline),
+			Objective: 0.95,
+			Windows:   []tsdb.BurnRule{{LongSlots: 48, ShortSlots: 6, MaxBurn: 3}},
+		},
+	}
+}
+
 // Drill runs the scenario and returns the full result. It performs no
 // assertions — the e2e test and the serving invariants judge the
 // stream.
 func Drill(cfg DrillConfig) (*DrillResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.TSDB != nil && cfg.Metrics == nil {
+		// The scraper needs the serve.* registry even when the caller
+		// didn't ask to keep it.
+		cfg.Metrics = obs.New()
+	}
 	srv, err := New(drillServerConfig(cfg))
 	if err != nil {
 		return nil, err
@@ -150,6 +224,32 @@ func Drill(cfg DrillConfig) (*DrillResult, error) {
 		TierBySlot:    make([]Tier, cfg.Slots),
 	}
 	slotMicros := srv.SlotMicros()
+
+	// The observability plane: scrape the registry every ScrapeEvery
+	// slots, with the ladder tier riding along as a step series, and
+	// evaluate the default SLOs off each scrape.
+	var (
+		scraper *tsdb.Scraper
+		engine  *tsdb.Engine
+	)
+	if cfg.TSDB != nil {
+		scraper = tsdb.NewScraper(cfg.TSDB, tsdb.ScrapeConfig{
+			Registry: cfg.Metrics,
+			Every:    cfg.ScrapeEvery,
+			Labels:   tsdb.L("market", string(key.Type)),
+		})
+		scraper.AddSource(func(slot int, app tsdb.Appender) {
+			tier := TierRefuse
+			if tbl := srv.Table(key); tbl != nil {
+				tier = srv.tierForAge(slot - tbl.BuiltSlot)
+			}
+			app("serve.tier", nil, float64(tier))
+		})
+		engine, err = tsdb.NewEngine(cfg.TSDB, cfg.Events, DefaultSLOs()...)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	quote := func(slot int, off int64, typ instances.Type, exec, recSec float64, class Class) {
 		srv.Quote(QuoteRequest{
@@ -200,6 +300,10 @@ func Drill(cfg DrillConfig) (*DrillResult, error) {
 			tier = srv.tierForAge(slot - tbl.BuiltSlot)
 		}
 		res.TierBySlot[slot] = tier
+
+		if scraper != nil && scraper.Tick(slot) {
+			res.Alerts = append(res.Alerts, engine.Eval(slot)...)
+		}
 	}
 
 	res.Records = srv.Audit().Records()
@@ -215,6 +319,9 @@ func Drill(cfg DrillConfig) (*DrillResult, error) {
 	h := fnv.New64a()
 	h.Write(res.AuditJSONL)
 	res.Fingerprint = h.Sum64()
+	if cfg.TSDB != nil {
+		res.TSDBDump = cfg.TSDB.DumpJSONL()
+	}
 	return res, nil
 }
 

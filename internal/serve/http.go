@@ -2,8 +2,43 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
+
+	"repro/internal/obs"
 )
+
+// metricsFormat resolves the /metricz response format: an explicit
+// ?format= wins, then the Accept header (first match on a JSON or
+// plain-text media type), then JSON. Unknown explicit formats are an
+// error; an exotic Accept header just falls back to JSON — curl
+// without flags must keep working.
+func metricsFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "prom", "prometheus":
+		return "prom", nil
+	case "json", "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want json or prom)", f)
+	}
+	if f := r.URL.Query().Get("format"); f != "" {
+		return "json", nil
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "application/json":
+			return "json", nil
+		case "text/plain", "application/openmetrics-text":
+			return "prom", nil
+		}
+	}
+	return "json", nil
+}
 
 // statusOf maps an outcome onto its HTTP status. Shedding is a
 // capacity signal (retryable), refusal a data/feasibility answer.
@@ -36,7 +71,9 @@ type errorBody struct {
 //	GET /v1/quote  — the bid-advisory endpoint (see DecodeQuoteRequest)
 //	GET /healthz   — liveness: 200 while the process should stay up
 //	GET /readyz    — readiness: 200 only when every market serves
-//	GET /metricz   — the obs registry snapshot as JSON
+//	GET /metricz   — the obs registry snapshot; JSON by default,
+//	                 Prometheus text format via ?format=prom or
+//	                 an Accept header naming text/plain
 //
 // The handler is the only place request time enters: nowMicros stamps
 // arrivals (spotbidd passes wall-clock micros; tests pass a logical
@@ -84,11 +121,21 @@ func NewHandler(s *Server, nowMicros func() int64) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.Metrics == nil {
-			writeJSON(w, http.StatusOK, map[string]any{})
+		format, err := metricsFormat(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotAcceptable)
 			return
 		}
-		b, err := s.cfg.Metrics.Snapshot().JSON()
+		snap := obs.Snapshot{}
+		if s.cfg.Metrics != nil {
+			snap = s.cfg.Metrics.Snapshot()
+		}
+		if format == "prom" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			_ = snap.WriteProm(w)
+			return
+		}
+		b, err := snap.JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/instances"
+	"repro/internal/obs"
+)
+
+// metriczServer builds a minimal server with a registry holding one
+// of each metric kind, plus the handler in front of it.
+func metriczServer(t *testing.T) http.Handler {
+	t.Helper()
+	reg := obs.New()
+	reg.Counter("serve.builds").Add(3)
+	reg.Gauge("serve.slot").Set(17)
+	reg.Histogram("probe.lat", []float64{1, 2}).Observe(1.5)
+	s, err := New(Config{Types: []instances.Type{instances.R3XLarge}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock int64
+	return NewHandler(s, func() int64 { clock += 1000; return clock })
+}
+
+func getMetricz(t *testing.T, h http.Handler, target, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestMetriczContentNegotiation(t *testing.T) {
+	h := metriczServer(t)
+
+	// Default: JSON, as before this endpoint learned formats.
+	rr := getMetricz(t, h, "/metricz", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("default: status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("default body is not a snapshot: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "serve.builds" && c.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot counters missing serve.builds=3: %+v", snap.Counters)
+	}
+
+	// ?format=prom: Prometheus text with the versioned Content-Type.
+	for _, target := range []string{"/metricz?format=prom", "/metricz?format=prometheus"} {
+		rr = getMetricz(t, h, target, "")
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", target, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != obs.PromContentType {
+			t.Fatalf("%s Content-Type = %q, want %q", target, ct, obs.PromContentType)
+		}
+		body := rr.Body.String()
+		for _, want := range []string{
+			"# TYPE serve_builds counter\nserve_builds 3\n",
+			"serve_slot 17\n",
+			`probe_lat_bucket{le="2"} 1`,
+			`probe_lat_bucket{le="+Inf"} 1`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("%s body missing %q:\n%s", target, want, body)
+			}
+		}
+	}
+
+	// Accept negotiation: text/plain selects prom, application/json
+	// selects JSON, and an explicit format= overrides Accept.
+	rr = getMetricz(t, h, "/metricz", "text/plain")
+	if ct := rr.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Accept text/plain Content-Type = %q", ct)
+	}
+	rr = getMetricz(t, h, "/metricz", "application/json, text/plain;q=0.5")
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Accept json-first Content-Type = %q", ct)
+	}
+	rr = getMetricz(t, h, "/metricz?format=json", "text/plain")
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("format=json with text Accept Content-Type = %q", ct)
+	}
+
+	// An exotic Accept falls back to JSON rather than erroring.
+	rr = getMetricz(t, h, "/metricz", "application/xml")
+	if rr.Code != http.StatusOK || rr.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("exotic Accept: status %d Content-Type %q", rr.Code, rr.Header().Get("Content-Type"))
+	}
+
+	// An unknown explicit format is a 406.
+	rr = getMetricz(t, h, "/metricz?format=xml", "")
+	if rr.Code != http.StatusNotAcceptable {
+		t.Fatalf("format=xml: status %d, want 406", rr.Code)
+	}
+}
+
+func TestMetriczNoRegistry(t *testing.T) {
+	s, err := New(Config{Types: []instances.Type{instances.R3XLarge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(s, func() int64 { return 0 })
+	rr := getMetricz(t, h, "/metricz", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("JSON status %d", rr.Code)
+	}
+	rr = getMetricz(t, h, "/metricz?format=prom", "")
+	if rr.Code != http.StatusOK || rr.Body.String() != "" {
+		t.Fatalf("prom with no registry: status %d body %q", rr.Code, rr.Body.String())
+	}
+}

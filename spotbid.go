@@ -55,6 +55,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/market"
 	"repro/internal/obs/event"
+	"repro/internal/obs/tsdb"
 	"repro/internal/retry"
 	"repro/internal/serve"
 	"repro/internal/strategy"
@@ -564,4 +565,49 @@ const (
 	ServeClassInteractive = serve.ClassInteractive
 	ServeClassStandard    = serve.ClassStandard
 	ServeClassBatch       = serve.ClassBatch
+)
+
+// The slot-indexed time-series store (see internal/obs/tsdb):
+// Gorilla-style compressed series keyed by name + labels, a scraper
+// that snapshots the metrics registry every K slots, and a
+// multi-window burn-rate SLO engine. Everything is keyed by
+// simulation slot, never the wall clock, so two runs of the same seed
+// dump byte-identical series. cmd/spotbidtop renders a DB (live,
+// replayed, or attached) as a terminal dashboard.
+type (
+	// TSDB is the in-process time-series store.
+	TSDB = tsdb.DB
+	// TSDBConfig tunes per-series retention.
+	TSDBConfig = tsdb.Config
+	// TSDBHandle is a cached series reference for hot append paths.
+	TSDBHandle = tsdb.Handle
+	// TSDBPoint is one (slot, value) sample; TSDBSeries one decoded
+	// series as returned by queries and dumps.
+	TSDBPoint  = tsdb.Point
+	TSDBSeries = tsdb.SeriesData
+	// TSDBLabels / TSDBLabel name a series beyond its metric name.
+	TSDBLabels = tsdb.Labels
+	TSDBLabel  = tsdb.Label
+	// TSDBScraper snapshots a registry + derived sources into a DB.
+	TSDBScraper      = tsdb.Scraper
+	TSDBScrapeConfig = tsdb.ScrapeConfig
+	// SLOSpec declares an objective; SLOBurnRule one multi-window
+	// burn-rate condition; SLOSelector names the counter series.
+	SLOSpec     = tsdb.SLO
+	SLOBurnRule = tsdb.BurnRule
+	SLOSelector = tsdb.Selector
+	// SLOEngine evaluates SLOs; SLOAlert is one fire/resolve
+	// transition.
+	SLOEngine = tsdb.Engine
+	SLOAlert  = tsdb.Alert
+)
+
+// NewTSDB builds a time-series store; NewTSDBScraper a registry
+// scraper over it; NewSLOEngine a burn-rate evaluator; TSDBLabelSet
+// a label list from key/value pairs.
+var (
+	NewTSDB        = tsdb.New
+	NewTSDBScraper = tsdb.NewScraper
+	NewSLOEngine   = tsdb.NewEngine
+	TSDBLabelSet   = tsdb.L
 )
