@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core bench-serve perfgate resilcheck trace-demo serve-demo top-demo
+.PHONY: all build test vet race race-obs shuffle no-wallclock check fuzz bench bench-json bench-core bench-lanes bench-serve perfgate resilcheck trace-demo serve-demo top-demo
 
 all: check
 
@@ -46,8 +46,10 @@ check: vet no-wallclock race-obs race shuffle perfgate resilcheck
 
 # Short fuzz pass over both history-parser targets, the
 # fault-schedule shrinker, the strategy deciders, the quote-request
-# decoder + serving path, and the tsdb chunk decoder.
+# decoder + serving path, the tsdb chunk decoder, and the branch-free
+# order-statistic searches.
 fuzz:
+	$(GO) test -fuzz=FuzzSearchEquivalence -fuzztime=30s ./internal/dist/
 	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSVCorrupted -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/invariant/
@@ -84,6 +86,14 @@ bench-serve:
 # refreshed BENCH_core.json after an intentional perf change.
 bench-core:
 	$(GO) run ./cmd/corebench -out BENCH_core.json
+
+# Struct-of-arrays fleet engine benchmarks (in-package: SoA run vs the
+# array-of-structs reference twin, allocs reported). The committed
+# fleet-scale numbers live in BENCH_core.json (lanes.fleet_tick and
+# the lanes.fleet pair) and are enforced by `make check` through
+# perfgate's ratio + min-speedup gates.
+bench-lanes:
+	$(GO) test -bench 'BenchmarkFleet' -benchmem ./internal/lanes/
 
 # Ratio-based perf regression gate against the committed
 # BENCH_core.json plus the 0-alloc serving gate against

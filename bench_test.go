@@ -19,14 +19,29 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func benchOpts(i int) experiments.Opts {
 	return experiments.Opts{Seed: int64(i) + 1, Runs: 2, Days: 63}
 }
 
+// coldMemo clears the package-level trace generation cache before the
+// timed loop. The figure/table benchmarks reuse the same seeds
+// (benchOpts), so without this each benchmark's first iterations run
+// against whatever traces an earlier benchmark happened to cache —
+// the measured number would depend on benchmark order. Starting cold
+// makes every benchmark self-contained: it warms its own cache in
+// iteration 0 and steady-states thereafter.
+func coldMemo(b *testing.B) {
+	b.Helper()
+	trace.ResetMemo()
+	b.ResetTimer()
+}
+
 func BenchmarkFigure3(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -36,6 +51,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkTable3(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table3(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -49,6 +65,7 @@ func BenchmarkTable3(b *testing.B) {
 // (measured precisely by `make bench-json` → BENCH_obs.json).
 func BenchmarkTable3Instrumented(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(i)
 		o.Metrics = obs.New()
@@ -60,6 +77,7 @@ func BenchmarkTable3Instrumented(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure4(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -69,6 +87,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkFigure5(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure5(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -78,6 +97,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure6(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -87,6 +107,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkTable4AndFigure7(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.MapReduceEval(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -96,6 +117,7 @@ func BenchmarkTable4AndFigure7(b *testing.B) {
 
 func BenchmarkStability(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Stability(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -107,6 +129,7 @@ func BenchmarkStability(b *testing.B) {
 // stickiness, M, collective bidding).
 func BenchmarkAblations(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		o := benchOpts(i)
 		if _, err := experiments.AblationBeta(o); err != nil {
@@ -133,6 +156,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkForecastEval runs the §5 forecasting-horizon check.
 func BenchmarkForecastEval(b *testing.B) {
 	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ForecastEval(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -202,6 +226,8 @@ func BenchmarkProviderOptimalPrice(b *testing.B) {
 }
 
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Seed: int64(i) + 1}); err != nil {
 			b.Fatal(err)
@@ -227,6 +253,8 @@ func BenchmarkWordCountRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	coldMemo(b)
 	for i := 0; i < b.N; i++ {
 		master, err := spotbid.GenerateTrace(spotbid.R3XLarge, spotbid.GenOptions{Days: 3, Seed: int64(i) + 1})
 		if err != nil {

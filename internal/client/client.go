@@ -121,10 +121,17 @@ type FallbackDelegate interface {
 // recoverable through Active and the checkpoint volume.
 var ErrFallbackVetoed = errors.New("client: on-demand fallback vetoed by delegate")
 
-// cachedECDF is a price-monitor snapshot: the ECDF plus the slot it
-// was fetched at.
+// cachedECDF is the last good F_π estimate for one type: either an
+// already-materialized snapshot (the filtered and injector-armed
+// paths build an Empirical anyway) or a reference to the live monitor
+// the estimate came from. The monitor's window mutates only on clean
+// fetches — never between a failed fetch and the stale serve that
+// follows it — so deferring the snapshot to first degraded use is
+// observably identical to eagerly copying on every success, and the
+// clean path stays allocation-free.
 type cachedECDF struct {
-	ecdf *dist.Empirical
+	ecdf *dist.Empirical // materialized estimate, nil when mon backs it
+	mon  *priceMonitor   // live monitor of the last clean fetch
 	slot int
 }
 
@@ -301,6 +308,14 @@ func (c *Client) setActive(t *job.Tracker) {
 
 // Market builds the bid-calculator view of an instance type's market:
 // the ECDF of the price-monitor window plus the on-demand ceiling.
+//
+// On the clean (undegraded) path the returned Market.Price is a live
+// view of the incremental price monitor, not a copy: it reflects the
+// window as of this call and advances on the next Market fetch of the
+// same type. Consumers use the view transiently — compute the bid,
+// drop the Market — which every run loop in this package does; a
+// caller that needs an estimate frozen across later fetches snapshots
+// it via dist.Dist's accessors or re-fetches at decision time.
 func (c *Client) Market(t instances.Type) (core.Market, error) {
 	m, _, err := c.market(t)
 	return m, err
@@ -321,7 +336,8 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 		window = DefaultHistoryWindow
 	}
 	slot := timeslot.Hours(float64(c.Region.Grid().Slot))
-	var ecdf *dist.Empirical
+	var est dist.Dist        // the F_π estimate served to the bid calculator
+	var estMon *priceMonitor // non-nil when est is a live monitor window
 	st, ferr := c.policy().Do("price-history", func() error {
 		hist, err := c.Region.PriceHistory(t, window)
 		if err != nil {
@@ -338,16 +354,21 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 				rejected++
 			}
 		}
-		var e *dist.Empirical
+		var e dist.Dist
 		if rejected == 0 {
 			if c.Region.Injector() == nil {
-				// Clean telemetry from an undegraded region: serve from
-				// the incremental monitor instead of re-sorting the
-				// whole window. Element-identical to hist.ECDF(0) by
-				// the monitor's invariant; any armed injector (even at
-				// zero rates) keeps the legacy path so chaos semantics
-				// and RNG consumption are untouched.
-				e, err = c.monitorECDF(t, window, hist)
+				// Clean telemetry from an undegraded region: serve the
+				// incremental monitor's live window instead of
+				// re-sorting (or even copying) the whole window.
+				// Element-identical to hist.ECDF(0) by the monitor's
+				// invariant; any armed injector (even at zero rates)
+				// keeps the legacy path so chaos semantics and RNG
+				// consumption are untouched.
+				var mon *priceMonitor
+				mon, err = c.monitorECDF(t, window, hist)
+				if err == nil {
+					e, estMon = mon.win, mon
+				}
 			} else {
 				e, err = hist.ECDF(0)
 			}
@@ -372,7 +393,7 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 		if rejected > 0 {
 			c.Metrics.Counter("client.quotes.rejected").Add(int64(rejected))
 		}
-		ecdf = e
+		est = e
 		return nil
 	})
 	tel.FetchRetries = st.Retries()
@@ -381,9 +402,23 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 		if !retry.IsTransient(ferr) {
 			return core.Market{}, tel, ferr
 		}
-		// Budget exhausted: fall back on the last good estimate.
+		// Budget exhausted: fall back on the last good estimate. A
+		// monitor-backed entry is materialized into an immutable
+		// snapshot on first degraded use: the window has not changed
+		// since the fetch it caches (pushes happen only on clean
+		// fetches), so the late copy equals the eager one the legacy
+		// path made on every success.
 		c.mu.Lock()
 		cached, ok := c.lastGood[t]
+		if ok && cached.ecdf == nil && cached.mon != nil {
+			snap, serr := cached.mon.win.Snapshot(0)
+			if serr != nil {
+				ok = false
+			} else {
+				cached.ecdf = snap
+				c.lastGood[t] = cached
+			}
+		}
 		c.mu.Unlock()
 		if !ok {
 			return core.Market{}, tel, ferr
@@ -401,9 +436,13 @@ func (c *Client) market(t instances.Type) (core.Market, Telemetry, error) {
 	if c.lastGood == nil { // zero-value Client, constructed without New
 		c.lastGood = make(map[instances.Type]cachedECDF)
 	}
-	c.lastGood[t] = cachedECDF{ecdf: ecdf, slot: c.Region.Now()}
+	if estMon != nil {
+		c.lastGood[t] = cachedECDF{mon: estMon, slot: c.Region.Now()}
+	} else {
+		c.lastGood[t] = cachedECDF{ecdf: est.(*dist.Empirical), slot: c.Region.Now()}
+	}
 	c.mu.Unlock()
-	return core.Market{Price: ecdf, OnDemand: spec.OnDemand, Slot: slot}, tel, nil
+	return core.Market{Price: est, OnDemand: spec.OnDemand, Slot: slot}, tel, nil
 }
 
 // Report pairs the model's predictions with the measured outcome of

@@ -15,9 +15,16 @@ import (
 //
 // The monitor is a pure cache. Its window contents are, by invariant,
 // the trailing min(ingested, capacity) slots of the region's backing
-// trace up to (but excluding) nextSlot; Snapshot therefore produces an
-// Empirical element-identical to the legacy rebuild, and the fast path
-// changes no observable behavior — only the work done to get there.
+// trace up to (but excluding) nextSlot; every Dist query on the window
+// is element-identical to the legacy dist.NewEmpirical rebuild of the
+// same slots, so the fast path changes no observable behavior — only
+// the work done to get there.
+//
+// The window is served live (no per-fetch snapshot copy): it mutates
+// only inside monitorECDF, i.e. on the next clean market fetch of the
+// same type, so a Market view stays frozen for as long as the bid
+// calculator that received it runs — the aliasing contract documented
+// on Client.Market.
 type priceMonitor struct {
 	region   *cloud.Region  // backing region; a swap invalidates the cache
 	window   timeslot.Hours // the HistoryWindow the capacity was sized for
@@ -35,9 +42,11 @@ const monitorRebuildGap = 256
 // monitor. Callers guarantee hist is the undegraded zero-copy window
 // (no fault injector armed) and contains no rejectable quotes, so the
 // legacy equivalent would be dist.NewEmpirical(hist.Prices, 0); the
-// monitor returns an element-identical Empirical after ingesting only
-// the slots that are new since the previous fetch.
-func (c *Client) monitorECDF(t instances.Type, window timeslot.Hours, hist *trace.Trace) (*dist.Empirical, error) {
+// returned monitor's live window answers every Dist query
+// element-identically after ingesting only the slots that are new
+// since the previous fetch — no snapshot copy, no allocation in
+// steady state.
+func (c *Client) monitorECDF(t instances.Type, window timeslot.Hours, hist *trace.Trace) (*priceMonitor, error) {
 	now := c.Region.Now()
 	start := now + 1 - hist.Len() // backing-trace slot of hist.Prices[0]
 
@@ -79,5 +88,5 @@ func (c *Client) monitorECDF(t instances.Type, window timeslot.Hours, hist *trac
 		}
 	}
 	mon.nextSlot = now + 1
-	return mon.win.Snapshot(0)
+	return mon, nil
 }

@@ -5,10 +5,27 @@ import (
 	"testing"
 
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/instances"
 	"repro/internal/timeslot"
 )
+
+// monitorSnapshot freezes the live monitor window a clean-path Market
+// serves into the immutable Empirical it is contractually equivalent
+// to, failing the test if the fast path did not engage.
+func monitorSnapshot(t *testing.T, m core.Market) *dist.Empirical {
+	t.Helper()
+	win, ok := m.Price.(*dist.WindowedECDF)
+	if !ok {
+		t.Fatalf("clean-path market serves %T, want the live *dist.WindowedECDF", m.Price)
+	}
+	snap, err := win.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
 
 // legacyMarket rebuilds the F_π estimate the pre-monitor code path
 // produced: a fresh NewEmpirical over the raw PriceHistory window.
@@ -31,9 +48,9 @@ func legacyMarket(t *testing.T, c *Client, typ instances.Type) *dist.Empirical {
 
 // TestMonitorMatchesLegacyRebuild drives the region slot by slot —
 // through warm-up, window saturation, and eviction — and checks the
-// incremental monitor serves an Empirical deep-equal to the legacy
-// full rebuild at every tick. This is the client half of the
-// element-identical acceptance contract.
+// live window the incremental monitor serves freezes to an Empirical
+// deep-equal to the legacy full rebuild at every tick. This is the
+// client half of the element-identical acceptance contract.
 func TestMonitorMatchesLegacyRebuild(t *testing.T) {
 	c := newClient(t, 9)
 	// Shrink the window so saturation and eviction are reached quickly.
@@ -43,7 +60,7 @@ func TestMonitorMatchesLegacyRebuild(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(m.Price, legacyMarket(t, c, instances.R3XLarge)) {
+		if !reflect.DeepEqual(monitorSnapshot(t, m), legacyMarket(t, c, instances.R3XLarge)) {
 			t.Fatalf("slot %d: monitor ECDF differs from legacy rebuild", c.Region.Now())
 		}
 		if err := c.Region.Tick(); err != nil {
@@ -65,7 +82,7 @@ func TestMonitorCatchUpPaths(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(m.Price, legacyMarket(t, c, instances.R3XLarge)) {
+		if !reflect.DeepEqual(monitorSnapshot(t, m), legacyMarket(t, c, instances.R3XLarge)) {
 			t.Fatalf("slot %d: monitor ECDF differs from legacy rebuild", c.Region.Now())
 		}
 	}

@@ -81,6 +81,19 @@ func newEmpiricalOwned(s []float64, nbins int) *Empirical {
 // produce identical PDFs for identical windows. nbins ≤ 0 selects the
 // square-root rule.
 func histogramFor(xs []float64, nbins int) (bins, dens []float64) {
+	bins, _, dens = histogramInto(xs, nbins, nil, nil, nil)
+	return bins, dens
+}
+
+// histogramInto is histogramFor with caller-pooled buffers: each slice
+// is reused when its capacity suffices and reallocated otherwise, so a
+// WindowedECDF rebuilding its histogram every slot allocates only until
+// the buffers reach the window's high-water size. The returned slices
+// alias the inputs whenever possible. The bin-edge arithmetic below is
+// element-identical to Linspace(lo, hi, nbins+1) — same step, same
+// lo + i·step form, same exact-hi endpoint — which keeps pooled and
+// fresh rebuilds bit-for-bit interchangeable.
+func histogramInto(xs []float64, nbins int, bins []float64, counts []int, dens []float64) ([]float64, []int, []float64) {
 	if nbins <= 0 {
 		nbins = int(math.Ceil(math.Sqrt(float64(len(xs)))))
 		if nbins < 1 {
@@ -92,10 +105,22 @@ func histogramFor(xs []float64, nbins int) (bins, dens []float64) {
 		// Degenerate sample: one point mass. Use a single
 		// sliver-width bin so the PDF stays finite.
 		w := math.Max(math.Abs(lo)*1e-9, 1e-12)
-		return []float64{lo - w/2, lo + w/2}, []float64{1 / w}
+		bins = growFloats(bins, 2)
+		bins[0], bins[1] = lo-w/2, lo+w/2
+		dens = growFloats(dens, 1)
+		dens[0] = 1 / w
+		return bins, counts[:0], dens
 	}
-	bins = Linspace(lo, hi, nbins+1)
-	counts := make([]int, nbins)
+	bins = growFloats(bins, nbins+1)
+	step := (hi - lo) / float64(nbins)
+	for i := range bins {
+		bins[i] = lo + float64(i)*step
+	}
+	bins[nbins] = hi
+	counts = growInts(counts, nbins)
+	for i := range counts {
+		counts[i] = 0
+	}
 	width := (hi - lo) / float64(nbins)
 	for _, x := range xs {
 		i := int((x - lo) / width)
@@ -104,12 +129,29 @@ func histogramFor(xs []float64, nbins int) (bins, dens []float64) {
 		}
 		counts[i]++
 	}
-	dens = make([]float64, nbins)
+	dens = growFloats(dens, nbins)
 	n := float64(len(xs))
 	for i, c := range counts {
 		dens[i] = float64(c) / (n * width)
 	}
-	return bins, dens
+	return bins, counts, dens
+}
+
+// growFloats reslices s to length n, reallocating only when its
+// capacity is too small.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts is growFloats for []int.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // histPDF evaluates a histogram density at x — shared PDF kernel for
@@ -118,9 +160,9 @@ func histPDF(bins, dens []float64, x float64) float64 {
 	if x < bins[0] || x > bins[len(bins)-1] {
 		return 0
 	}
-	// Binary search for the bin containing x.
-	i := sort.SearchFloat64s(bins, x)
-	// SearchFloat64s returns the first index with bins[i] >= x.
+	// Branch-free binary search for the bin containing x: searchGE
+	// returns the first index with bins[i] >= x.
+	i := searchGE(bins, x)
 	if i > 0 {
 		i--
 	}
@@ -142,9 +184,8 @@ func (e *Empirical) PDF(x float64) float64 { return histPDF(e.bins, e.dens, x) }
 // CDF implements Dist with the right-continuous ECDF
 // F(x) = #{x_i ≤ x}/n.
 func (e *Empirical) CDF(x float64) float64 {
-	// Index of first element > x.
-	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
-	return float64(i) / float64(len(e.xs))
+	// Index of first element > x, resolved branch-free.
+	return float64(searchGT(e.xs, x)) / float64(len(e.xs))
 }
 
 // Quantile implements Dist with linear interpolation between order
@@ -187,8 +228,7 @@ func (e *Empirical) Support() Interval {
 // the expected accepted price E[π | π ≤ p]·F(p) (Eq. 9) exactly
 // against a price history, with no quadrature error.
 func (e *Empirical) PartialMean(p float64) float64 {
-	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > p })
-	return e.prefix[i] / float64(len(e.xs))
+	return e.prefix[searchGT(e.xs, p)] / float64(len(e.xs))
 }
 
 // partialMeaner is the optional fast path used by PartialMean.

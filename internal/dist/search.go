@@ -1,0 +1,57 @@
+package dist
+
+// Branch-free order-statistic searches over sorted samples — the inner
+// loop of every ECDF query the Prop. 4/5 bid grid issues (CDF,
+// PartialMean, sorted insert/evict). sort.Search costs one
+// hard-to-predict branch per probe plus a closure call; the halving
+// loops below keep the answer in [base, base+n) with a body the
+// compiler lowers to a conditional move (no data-dependent branch), so
+// a 17.5k-sample window resolves in 15 straight-line iterations.
+//
+// Both functions require xs sorted ascending and NaN-free — the
+// invariant every Empirical and WindowedECDF sample already maintains
+// (construction rejects NaN). They are drop-in equivalents:
+//
+//	searchGT(xs, x) == sort.Search(len(xs), func(i int) bool { return xs[i] > x })
+//	searchGE(xs, x) == sort.SearchFloat64s(xs, x)
+//
+// for every sorted input including duplicate runs, single samples, and
+// empty slices; search_test.go and FuzzSearchEquivalence pin the
+// equivalence.
+
+// searchGT returns the smallest index i with xs[i] > x (len(xs) when
+// no element exceeds x) — the upper-bound search behind the
+// right-continuous ECDF F(x) = #{x_i ≤ x}/n.
+func searchGT(xs []float64, x float64) int {
+	base, n := 0, len(xs)
+	for n > 1 {
+		half := n >> 1
+		// Lowered to CMOV: no branch on the sample data.
+		if xs[base+half-1] <= x {
+			base += half
+		}
+		n -= half
+	}
+	if base < len(xs) && xs[base] <= x {
+		base++
+	}
+	return base
+}
+
+// searchGE returns the smallest index i with xs[i] >= x (len(xs) when
+// every element is below x) — the lower-bound search behind sorted
+// insertion and eviction in the windowed ring.
+func searchGE(xs []float64, x float64) int {
+	base, n := 0, len(xs)
+	for n > 1 {
+		half := n >> 1
+		if xs[base+half-1] < x {
+			base += half
+		}
+		n -= half
+	}
+	if base < len(xs) && xs[base] < x {
+		base++
+	}
+	return base
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refGT is the specification searchGT must match: the stdlib upper
+// bound (first index with xs[i] > x).
+func refGT(xs []float64, x float64) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] > x })
+}
+
+// refGE is the specification searchGE must match: the stdlib lower
+// bound (first index with xs[i] >= x).
+func refGE(xs []float64, x float64) int {
+	return sort.SearchFloat64s(xs, x)
+}
+
+func checkSearches(t *testing.T, xs []float64, x float64) {
+	t.Helper()
+	if got, want := searchGT(xs, x), refGT(xs, x); got != want {
+		t.Fatalf("searchGT(%v, %v) = %d, sort.Search = %d", xs, x, got, want)
+	}
+	if got, want := searchGE(xs, x), refGE(xs, x); got != want {
+		t.Fatalf("searchGE(%v, %v) = %d, sort.SearchFloat64s = %d", xs, x, got, want)
+	}
+}
+
+// queriesFor probes every boundary of a sorted sample: each element
+// exactly, just above, just below, and the far outside on both ends.
+func queriesFor(xs []float64) []float64 {
+	qs := []float64{math.Inf(-1), math.Inf(1), 0, -1, 1}
+	for _, x := range xs {
+		qs = append(qs, x, math.Nextafter(x, math.Inf(-1)), math.Nextafter(x, math.Inf(1)))
+	}
+	if len(xs) > 0 {
+		qs = append(qs, xs[0]-1, xs[len(xs)-1]+1)
+	}
+	return qs
+}
+
+// TestSearchEdgeCases pins the hand-picked shapes the windowed ring
+// actually produces: empty, single sample, all-duplicates, duplicate
+// runs at every position, and denormal-scale spacing.
+func TestSearchEdgeCases(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0.25},
+		{0.25, 0.25},
+		{0.25, 0.25, 0.25, 0.25},
+		{1, 2, 2, 3},
+		{2, 2, 2, 3, 4},
+		{1, 2, 3, 3, 3},
+		{0, 0, 1, 1, 2, 2},
+		{-3, -1, -1, 0, 0, 0, 5},
+		{0.035, 0.035, 0.0351, 0.07, 0.35},
+		{math.SmallestNonzeroFloat64, 1e-300, 1e-12, 1},
+	}
+	for _, xs := range cases {
+		for _, q := range queriesFor(xs) {
+			checkSearches(t, xs, q)
+		}
+	}
+}
+
+// TestSearchPropertyRandom drives the branch-free searches against the
+// stdlib over random sorted samples with heavy duplication — the
+// spot-price window is exactly such a sample (prices repeat for long
+// dwells).
+func TestSearchPropertyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Coarse grid → many duplicates.
+			xs[i] = float64(r.Intn(12)) / 8
+		}
+		sort.Float64s(xs)
+		for _, q := range queriesFor(xs) {
+			checkSearches(t, xs, q)
+		}
+		for k := 0; k < 8; k++ {
+			checkSearches(t, xs, r.NormFloat64())
+		}
+	}
+}
+
+// TestWindowedRingSearchEquivalence exercises the full windowed ring:
+// a WindowedECDF fed past its capacity (so eviction paths run) must
+// report the same CDF and PartialMean as a fresh NewEmpirical of the
+// identical window — the legacy binary-search path — at every probe
+// point, including duplicate-price plateaus and the single-sample
+// window.
+func TestWindowedRingSearchEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	w, err := NewWindowedECDF(48, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 400; step++ {
+		// Spot-price-like stream: long dwells on a coarse grid.
+		x := 0.035 * (1 + float64(r.Intn(10)))
+		if err := w.Push(x); err != nil {
+			t.Fatal(err)
+		}
+		if step%17 != 0 && step > 1 {
+			continue
+		}
+		ref, err := NewEmpirical(w.Values(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queriesFor(w.Values()) {
+			if got, want := w.CDF(q), ref.CDF(q); got != want {
+				t.Fatalf("step %d: CDF(%v) = %v, legacy %v", step, q, got, want)
+			}
+			if got, want := w.PartialMean(q), ref.PartialMean(q); got != want {
+				t.Fatalf("step %d: PartialMean(%v) = %v, legacy %v", step, q, got, want)
+			}
+			if got, want := w.PDF(q), ref.PDF(q); got != want {
+				t.Fatalf("step %d: PDF(%v) = %v, legacy %v", step, q, got, want)
+			}
+		}
+	}
+}
+
+// FuzzSearchEquivalence fuzzes both searches against their stdlib
+// specifications on arbitrary (sorted, de-NaN'd) byte-derived samples.
+func FuzzSearchEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3}, 2.0)
+	f.Add([]byte{}, 0.0)
+	f.Add([]byte{7}, 7.0)
+	f.Add([]byte{5, 5, 5, 5, 5}, 5.0)
+	f.Add([]byte{0, 1, 1, 2, 200, 200, 255}, 199.9)
+	f.Fuzz(func(t *testing.T, raw []byte, q float64) {
+		if math.IsNaN(q) {
+			t.Skip()
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b) / 16
+		}
+		sort.Float64s(xs)
+		if got, want := searchGT(xs, q), refGT(xs, q); got != want {
+			t.Fatalf("searchGT(%v, %v) = %d, sort.Search = %d", xs, q, got, want)
+		}
+		if got, want := searchGE(xs, q), refGE(xs, q); got != want {
+			t.Fatalf("searchGE(%v, %v) = %d, sort.SearchFloat64s = %d", xs, q, got, want)
+		}
+	})
+}

@@ -38,14 +38,25 @@ type WindowedECDF struct {
 
 	sorted []float64 // the n live samples, sorted ascending
 
-	// Lazily rebuilt aggregates; dirty is set by every mutation.
-	dirty  bool
-	prefix []float64
-	mean   float64
-	vari   float64
-	bins   []float64
-	dens   []float64
-	nbins  int // histogram bin request for lazy rebuilds; ≤0 = sqrt rule
+	// Lazily rebuilt aggregates. Each family carries its own dirty
+	// flag (every mutation sets all three) so a quote path that only
+	// needs partial means — the Prop. 4/5 grid touches CDF, Quantile,
+	// and PartialMean but never PDF or the moments — pays for exactly
+	// one O(n) prefix pass per slot, not the histogram scan and the
+	// two-pass variance it used to drag along. All rebuild buffers
+	// (prefix, bins, counts, dens) are pooled: allocated once at the
+	// window's high-water mark and reused, so the steady-state tick
+	// allocates nothing.
+	dirtyPrefix  bool
+	dirtyMoments bool
+	dirtyHist    bool
+	prefix       []float64
+	mean         float64
+	vari         float64
+	bins         []float64
+	counts       []int
+	dens         []float64
+	nbins        int // histogram bin request for lazy rebuilds; ≤0 = sqrt rule
 }
 
 // NewWindowedECDF returns an empty monitor over a window of the given
@@ -56,11 +67,13 @@ func NewWindowedECDF(capacity, nbins int) (*WindowedECDF, error) {
 		return nil, fmt.Errorf("%w: windowed ECDF capacity %d < 1", ErrBadParam, capacity)
 	}
 	return &WindowedECDF{
-		capacity: capacity,
-		ring:     make([]float64, capacity),
-		sorted:   make([]float64, 0, capacity),
-		nbins:    nbins,
-		dirty:    true,
+		capacity:     capacity,
+		ring:         make([]float64, capacity),
+		sorted:       make([]float64, 0, capacity),
+		nbins:        nbins,
+		dirtyPrefix:  true,
+		dirtyMoments: true,
+		dirtyHist:    true,
 	}, nil
 }
 
@@ -85,10 +98,10 @@ func (w *WindowedECDF) Push(x float64) error {
 		if w.head == w.capacity {
 			w.head = 0
 		}
-		// Evict exactly one copy of the oldest value. SearchFloat64s
-		// returns the first index i with sorted[i] >= old; the value is
+		// Evict exactly one copy of the oldest value. searchGE returns
+		// the first index i with sorted[i] >= old; the value is
 		// guaranteed present, so sorted[i] == old.
-		i := sort.SearchFloat64s(w.sorted, old)
+		i := searchGE(w.sorted, old)
 		copy(w.sorted[i:], w.sorted[i+1:])
 		w.sorted = w.sorted[:w.n-1]
 		w.n--
@@ -100,12 +113,12 @@ func (w *WindowedECDF) Push(x float64) error {
 		w.ring[tail] = x
 	}
 	// Sorted insert of the newcomer.
-	i := sort.SearchFloat64s(w.sorted, x)
+	i := searchGE(w.sorted, x)
 	w.sorted = w.sorted[:w.n+1]
 	copy(w.sorted[i+1:], w.sorted[i:])
 	w.sorted[i] = x
 	w.n++
-	w.dirty = true
+	w.dirtyPrefix, w.dirtyMoments, w.dirtyHist = true, true, true
 	return nil
 }
 
@@ -130,21 +143,25 @@ func (w *WindowedECDF) Fill(xs []float64) error {
 	w.sorted = w.sorted[:w.n]
 	copy(w.sorted, xs)
 	sort.Float64s(w.sorted)
-	w.dirty = true
+	w.dirtyPrefix, w.dirtyMoments, w.dirtyHist = true, true, true
 	return nil
 }
 
-// refresh rebuilds the lazy aggregates after a mutation. The summation
-// runs left to right over the sorted sample — the same order
-// newEmpiricalOwned uses — so every derived quantity matches a fresh
-// NewEmpirical of the identical window bit for bit.
-func (w *WindowedECDF) refresh() {
-	if !w.dirty {
-		return
-	}
+func (w *WindowedECDF) mustSample() {
 	if w.n == 0 {
 		panic("dist: windowed ECDF queried before any sample was pushed")
 	}
+}
+
+// refreshPrefix rebuilds the prefix-sum array after a mutation. The
+// summation runs left to right over the sorted sample — the same order
+// newEmpiricalOwned uses — so PartialMean matches a fresh NewEmpirical
+// of the identical window bit for bit.
+func (w *WindowedECDF) refreshPrefix() {
+	if !w.dirtyPrefix {
+		return
+	}
+	w.mustSample()
 	if cap(w.prefix) < w.n+1 {
 		w.prefix = make([]float64, w.capacity+1)
 	}
@@ -153,9 +170,29 @@ func (w *WindowedECDF) refresh() {
 	for i, x := range w.sorted {
 		w.prefix[i+1] = w.prefix[i] + x
 	}
+	w.dirtyPrefix = false
+}
+
+// refreshMoments recomputes the cached mean/variance with the exact
+// MeanVar pass NewEmpirical uses.
+func (w *WindowedECDF) refreshMoments() {
+	if !w.dirtyMoments {
+		return
+	}
+	w.mustSample()
 	w.mean, w.vari = MeanVar(w.sorted)
-	w.bins, w.dens = histogramFor(w.sorted, w.nbins)
-	w.dirty = false
+	w.dirtyMoments = false
+}
+
+// refreshHist rebuilds the PDF histogram into the pooled buffers with
+// histogramFor's exact arithmetic.
+func (w *WindowedECDF) refreshHist() {
+	if !w.dirtyHist {
+		return
+	}
+	w.mustSample()
+	w.bins, w.counts, w.dens = histogramInto(w.sorted, w.nbins, w.bins, w.counts, w.dens)
+	w.dirtyHist = false
 }
 
 // Snapshot freezes the current window as an immutable *Empirical —
@@ -178,18 +215,15 @@ func (w *WindowedECDF) Values() []float64 { return w.sorted[:w.n] }
 
 // PDF implements Dist using the histogram density.
 func (w *WindowedECDF) PDF(x float64) float64 {
-	w.refresh()
+	w.refreshHist()
 	return histPDF(w.bins, w.dens, x)
 }
 
 // CDF implements Dist with the right-continuous ECDF
 // F(x) = #{x_i ≤ x}/n.
 func (w *WindowedECDF) CDF(x float64) float64 {
-	if w.n == 0 {
-		panic("dist: windowed ECDF queried before any sample was pushed")
-	}
-	i := sort.Search(w.n, func(i int) bool { return w.sorted[i] > x })
-	return float64(i) / float64(w.n)
+	w.mustSample()
+	return float64(searchGT(w.sorted, x)) / float64(w.n)
 }
 
 // Quantile implements Dist with type-7 interpolation, matching
@@ -221,13 +255,13 @@ func (w *WindowedECDF) Sample(r *rand.Rand) float64 {
 
 // Mean implements Dist.
 func (w *WindowedECDF) Mean() float64 {
-	w.refresh()
+	w.refreshMoments()
 	return w.mean
 }
 
 // Var implements Dist.
 func (w *WindowedECDF) Var() float64 {
-	w.refresh()
+	w.refreshMoments()
 	return w.vari
 }
 
@@ -241,7 +275,6 @@ func (w *WindowedECDF) Support() Interval {
 
 // PartialMean returns (1/n)·Σ_{x_i ≤ p} x_i — see Empirical.PartialMean.
 func (w *WindowedECDF) PartialMean(p float64) float64 {
-	w.refresh()
-	i := sort.Search(w.n, func(i int) bool { return w.sorted[i] > p })
-	return w.prefix[i] / float64(w.n)
+	w.refreshPrefix()
+	return w.prefix[searchGT(w.sorted, p)] / float64(w.n)
 }

@@ -1,0 +1,39 @@
+package lanes
+
+// laneRNG is a splitmix64 stream seeded from (engine seed, lane
+// index) — never from a shared source drawn in goroutine arrival
+// order. That seeding rule is what makes the batch engine bit-identical
+// at any GOMAXPROCS: a lane's draws are a pure function of its index,
+// so shard boundaries and worker interleaving cannot reach them.
+// splitmix64 passes through every 64-bit state in one period and is
+// the standard seeder for exactly this job (Steele et al., OOPSLA'14);
+// two lanes' streams differ in every draw after one mixing round.
+type laneRNG uint64
+
+// newLaneRNG derives lane i's stream from the engine seed. The two
+// inputs are spread by distinct odd constants before mixing so
+// adjacent seeds and adjacent lanes both decorrelate.
+func newLaneRNG(seed int64, lane int) laneRNG {
+	return laneRNG(uint64(seed)*0x9E3779B97F4A7C15 ^ (uint64(lane)+1)*0xBF58476D1CE4E5B9)
+}
+
+// next advances the stream one splitmix64 step.
+func (r *laneRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *laneRNG) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a draw in [0, n). The modulo bias is ≤ n/2⁶⁴ —
+// irrelevant for submission staggering — and the branch-free form
+// keeps lane seeding vectorizable.
+func (r *laneRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardsCoverage proves the contiguous split is a partition of
+// [0, n): every index visited exactly once, ranges half-open and
+// non-overlapping, at every worker count the engine runs under.
+func TestShardsCoverage(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 3, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			visits := make([]int32, n)
+			err := Shards(n, func(lo, hi int) error {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("procs=%d n=%d: bad shard [%d,%d)", procs, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("procs=%d n=%d: %v", procs, n, err)
+			}
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("procs=%d n=%d: index %d visited %d times", procs, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsFirstErrorInShardOrder pins the error contract: when
+// several shards fail, the caller sees the lowest shard's error, not
+// whichever goroutine lost the race.
+func TestShardsFirstErrorInShardOrder(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	first := errors.New("first shard")
+	later := errors.New("later shard")
+	err := Shards(1000, func(lo, hi int) error {
+		if lo == 0 {
+			return first
+		}
+		return later
+	})
+	if err != first {
+		t.Fatalf("got %v, want the shard-order first error", err)
+	}
+}
+
+// TestRunsStopsAfterError checks the grid pool records the error and
+// stops dispatching new work. Forced to one worker so the dispatch
+// cutoff is deterministic.
+func TestRunsStopsAfterError(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Runs(100, func(run int) error {
+		ran.Add(1)
+		if run == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := ran.Load(); int(n) >= 100 {
+		t.Fatalf("dispatch did not stop: all %d runs executed", n)
+	}
+}

@@ -237,7 +237,7 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 	cacheable := !(opt.FullDynamics && opt.Metrics != nil)
 	if cacheable {
 		if ent, ok := memoLookup(key); ok {
-			return c.emitGenerated(opt, grid, ent.prices, ent.switches, dwell)
+			return c.emitGenerated(opt, grid, ent, dwell)
 		}
 	}
 
@@ -285,27 +285,34 @@ func (c Calibration) Generate(opt GenOptions) (*Trace, error) {
 			}
 		}
 	}
+	ent := memoEntry{prices: prices, switches: switches}
 	if cacheable {
-		memoStore(key, memoEntry{prices: prices, switches: switches})
+		ent.ecdf = &ecdfCell{}
+		memoStore(key, ent)
 	}
-	return c.emitGenerated(opt, grid, prices, switches, dwell)
+	return c.emitGenerated(opt, grid, ent, dwell)
 }
 
 // emitGenerated performs the observable tail of a generation — the
 // trace.* metrics, the PriceSet flight-recorder series, and Trace
 // construction — identically for a fresh series and a cache hit, so
 // memoization cannot be distinguished by any snapshot or export.
-func (c Calibration) emitGenerated(opt GenOptions, grid timeslot.Grid, prices []float64, switches int64, dwell int) (*Trace, error) {
+func (c Calibration) emitGenerated(opt GenOptions, grid timeslot.Grid, ent memoEntry, dwell int) (*Trace, error) {
 	if !opt.FullDynamics && dwell > 1 {
-		opt.Metrics.Counter("trace.dwell_switches").Add(switches)
+		opt.Metrics.Counter("trace.dwell_switches").Add(ent.switches)
 	}
 	if opt.Metrics != nil {
-		opt.Metrics.Counter("trace.slots_generated").Add(int64(len(prices)))
-		opt.Metrics.Histogram("trace.price_usd", obs.PriceBuckets).ObserveBatch(prices)
+		opt.Metrics.Counter("trace.slots_generated").Add(int64(len(ent.prices)))
+		opt.Metrics.Histogram("trace.price_usd", obs.PriceBuckets).ObserveBatch(ent.prices)
 	}
 	// One PriceSet per price change; the batch path keeps tracing off
 	// the generator's critical path even under i.i.d. pricing, where
 	// every slot changes.
-	opt.Trace.EmitSeries(event.Event{Kind: event.PriceSet, Region: "generator", Subject: string(c.Type)}, prices)
-	return New(c.Type, grid, prices)
+	opt.Trace.EmitSeries(event.Event{Kind: event.PriceSet, Region: "generator", Subject: string(c.Type)}, ent.prices)
+	tr, err := New(c.Type, grid, ent.prices)
+	if err != nil {
+		return nil, err
+	}
+	tr.ecdf = ent.ecdf
+	return tr, nil
 }

@@ -28,6 +28,12 @@ type Trace struct {
 	Grid timeslot.Grid
 	// Prices holds one spot price per slot, in USD per instance-hour.
 	Prices []float64
+
+	// ecdf, when non-nil, is the shared lazily-built full-series ECDF
+	// cell of the memoized generation this header aliases (memo.go).
+	// Window/LastHours sub-traces cover a different sample and never
+	// carry it.
+	ecdf *ecdfCell
 }
 
 // New validates and constructs a trace.
@@ -80,7 +86,19 @@ func (t *Trace) LastHours(h timeslot.Hours) (*Trace, error) {
 // ECDF builds the empirical distribution of the trace's prices, the
 // F_π estimate handed to the bidding strategies. nbins ≤ 0 picks the
 // histogram binning automatically.
+//
+// For a trace produced by the memoized generator, the default-binning
+// result is built once per cached series and shared by every header
+// aliasing it — NewEmpirical is a pure function of the immutable price
+// slice and *Empirical is itself immutable, so a shared instance is
+// observably identical to a fresh build.
 func (t *Trace) ECDF(nbins int) (*dist.Empirical, error) {
+	if nbins <= 0 && t.ecdf != nil {
+		t.ecdf.once.Do(func() {
+			t.ecdf.e, t.ecdf.err = dist.NewEmpirical(t.Prices, 0)
+		})
+		return t.ecdf.e, t.ecdf.err
+	}
 	return dist.NewEmpirical(t.Prices, nbins)
 }
 

@@ -52,6 +52,7 @@ import (
 	"repro/internal/instances"
 	"repro/internal/invariant"
 	"repro/internal/job"
+	"repro/internal/lanes"
 	"repro/internal/mapreduce"
 	"repro/internal/market"
 	"repro/internal/obs/event"
@@ -394,6 +395,29 @@ type (
 
 // NewClient builds a client for a region.
 var NewClient = client.New
+
+// The struct-of-arrays lane batch engine (see internal/lanes):
+// advances every (market, kind, tenant) lane of a simulated spot
+// fleet in one cache-friendly pass over contiguous arrays, with
+// per-lane RNG streams seeded by lane index so results are
+// bit-identical at any GOMAXPROCS.
+type (
+	// LanesConfig sizes a fleet simulation; LanesEngine is the batch
+	// engine; LanesReport the per-cohort summary with LanesRow rows.
+	LanesConfig = lanes.Config
+	LanesEngine = lanes.Engine
+	LanesReport = lanes.Report
+	LanesRow    = lanes.Row
+)
+
+// Lane engine constructors. NewLanes builds the engine and its
+// live-window quote grid; RunLanesReference replays the same fleet on
+// the legacy per-client machinery (byte-identical report, for
+// verification and benchmarking).
+var (
+	NewLanes          = lanes.New
+	RunLanesReference = lanes.RunReference
+)
 
 // The pluggable bidding-strategy engine (see internal/strategy): the
 // Strategy interface the client delegates every bid decision to, the

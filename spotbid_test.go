@@ -169,3 +169,37 @@ func TestFacadeProviderModel(t *testing.T) {
 		t.Error("equilibrium mean NaN")
 	}
 }
+
+// TestFacadeLanes drives the struct-of-arrays lane engine through the
+// facade: a small fleet, run to the end of the trace, cross-checked
+// against the legacy-machinery reference replay.
+func TestFacadeLanes(t *testing.T) {
+	cfg := spotbid.LanesConfig{
+		Types:      []spotbid.InstanceType{spotbid.R3XLarge},
+		Lanes:      16,
+		Days:       3,
+		Seed:       5,
+		Exec:       10,
+		Recovery:   spotbid.Seconds(30),
+		Window:     24,
+		QuoteEvery: 48,
+	}
+	e, err := spotbid.NewLanes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Lanes != cfg.Lanes {
+		t.Fatalf("report covers %d lanes, want %d", rep.Total.Lanes, cfg.Lanes)
+	}
+	ref, err := spotbid.RunLanesReference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Render() != rep.Render() {
+		t.Fatalf("lane engine and reference replay disagree:\n%s\nvs\n%s", rep.Render(), ref.Render())
+	}
+}
